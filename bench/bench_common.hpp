@@ -1,0 +1,62 @@
+// bench_common.hpp — shared plumbing for the figure-reproduction benches.
+//
+// Every bench accepts `key=value` overrides (see NetworkConfig::
+// apply_overrides) plus:
+//   seed=<n>           base seed (default 2005)
+//   reps=<n>           replications per point (default 2)
+//   fast=1             shrink the sweep for smoke runs
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/simulation_runner.hpp"
+#include "util/config.hpp"
+#include "util/table_writer.hpp"
+
+namespace caem::bench {
+
+struct BenchArgs {
+  core::NetworkConfig config;
+  std::uint64_t seed = 2005;
+  std::size_t reps = 2;
+  bool fast = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  const util::Config overrides = util::Config::from_args(tokens);
+  args.seed = static_cast<std::uint64_t>(overrides.get_int("seed", 2005));
+  args.reps = static_cast<std::size_t>(overrides.get_int("reps", 2));
+  args.fast = overrides.get_bool("fast", false);
+  args.config.apply_overrides(overrides);
+  return args;
+}
+
+/// Mean over a replicated point (folds -1 lifetimes as the horizon).
+using core::Replicated;
+using core::RunOptions;
+using core::RunResult;
+
+/// Run every protocol at one config, replicated, in parallel.
+inline std::vector<Replicated> all_protocols(const core::NetworkConfig& config,
+                                             std::uint64_t seed, std::size_t reps,
+                                             const RunOptions& options) {
+  std::vector<Replicated> out;
+  out.reserve(3);
+  for (const core::Protocol protocol : core::kAllProtocols) {
+    out.push_back(core::run_replicated(config, protocol, seed, reps, options));
+  }
+  return out;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_reference) {
+  std::cout << "==== " << title << " ====\n"
+            << "reproduces: " << paper_reference << "\n\n";
+}
+
+}  // namespace caem::bench

@@ -1,0 +1,67 @@
+// bench_ext_deadline — extension study (the paper's future-work
+// direction: "find the respective application scenarios for the two
+// schemes"): a deadline-aware CAEM that keeps Scheme 2's fixed
+// energy-optimal threshold but lets a sensor whose head-of-line packet
+// exceeds an age deadline transmit anyway.  Sweeps the deadline and
+// shows the resulting energy/delay/fairness trade-off curve between
+// Scheme 2 (deadline -> infinity) and pure LEACH (deadline -> 0).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace caem;
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_header("Extension — deadline-aware CAEM",
+                      "energy/delay trade-off between Scheme 2 and pure LEACH");
+
+  core::RunOptions options;
+  options.max_sim_s = args.fast ? 60.0 : 120.0;
+
+  util::TableWriter table({"variant", "mJ/packet", "mean delay ms", "p95 delay ms",
+                           "queue stddev", "delivery %", "overrides"});
+
+  const auto run_point = [&](core::Protocol protocol, double deadline_s,
+                             const std::string& label) {
+    core::NetworkConfig config = args.config;
+    config.traffic_rate_pps = 8.0;
+    config.initial_energy_j = 1e6;
+    config.csi_gate_deadline_s = deadline_s;
+    const auto summary = core::run_replicated(config, protocol, args.seed, args.reps, options);
+    double overrides = 0.0;
+    for (const auto& run : summary.runs) {
+      overrides += static_cast<double>(run.mac.deadline_overrides);
+    }
+    double p95 = 0.0;
+    for (const auto& run : summary.runs) p95 += run.p95_delay_s;
+    const auto reps = static_cast<double>(args.reps);
+    table.new_row()
+        .cell(label)
+        .cell(summary.energy_per_packet_j.mean() * 1e3, 3)
+        .cell(summary.mean_delay_s.mean() * 1e3, 1)
+        .cell(p95 / reps * 1e3, 1)
+        .cell(summary.queue_stddev.mean(), 2)
+        .cell(summary.delivery_rate.mean() * 100.0, 1)
+        .cell(overrides / reps, 0);
+  };
+
+  run_point(core::Protocol::kPureLeach, 0.0, "pure-leach");
+  const std::vector<double> deadlines =
+      args.fast ? std::vector<double>{0.5} : std::vector<double>{0.1, 0.25, 0.5, 1.0, 2.0};
+  for (const double deadline : deadlines) {
+    run_point(core::Protocol::kCaemDeadline, deadline,
+              "deadline " + util::format_fixed(deadline, 2) + " s");
+  }
+  run_point(core::Protocol::kCaemScheme2, 0.0, "caem-scheme2");
+
+  table.render(std::cout);
+  std::cout << "\nexpected: energy per packet interpolates monotonically between pure\n"
+               "LEACH (deadline -> 0) and Scheme 2 (deadline -> infinity), while the\n"
+               "queue-stddev (fairness) column stays near pure LEACH's — the override\n"
+               "removes Scheme 2's starvation.  Note that at saturating loads Scheme 2\n"
+               "can show the *lowest* delay overall because it wastes no air time on\n"
+               "bad channels; the deadline variant trades some of that margin for a\n"
+               "bounded worst-case head-of-line wait.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// bench_fig11_energy_per_packet — reproduces Figure 11: average energy
+// consumed per successfully delivered packet versus traffic load, for
+// pure LEACH and CAEM Scheme 1 (the paper omits Scheme 2 here because it
+// is trivially the cheapest; we print it as an extra column).
+//
+// Paper shape: Scheme 1 sits 30-40% below pure LEACH; pure LEACH's curve
+// *decreases* with load (bigger bursts amortise the radio startup);
+// Scheme 1's rises slightly (congestion lowers its threshold), so the
+// gap narrows as the load grows.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace caem;
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_header("Figure 11 — energy per delivered packet vs load",
+                      "pure LEACH vs CAEM Scheme 1 (Scheme 2 as extra)");
+
+  const std::vector<double> loads =
+      args.fast ? std::vector<double>{5.0, 20.0} : std::vector<double>{5, 10, 15, 20, 25, 30};
+
+  core::RunOptions options;
+  options.max_sim_s = args.fast ? 60.0 : 150.0;
+
+  struct Job {
+    double load;
+    core::Protocol protocol;
+    std::uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  for (const double load : loads) {
+    for (const core::Protocol protocol : core::kAllProtocols) {
+      for (std::size_t rep = 0; rep < args.reps; ++rep) {
+        jobs.push_back({load, protocol, args.seed + rep});
+      }
+    }
+  }
+  const auto results = core::parallel_runs(jobs.size(), [&](std::size_t i) {
+    core::NetworkConfig config = args.config;
+    config.traffic_rate_pps = jobs[i].load;
+    // Long-lived batteries: Fig 11 measures steady-state energy/packet,
+    // not lifetime effects.
+    config.initial_energy_j = 1e6;
+    return core::SimulationRunner::run(config, jobs[i].protocol, jobs[i].seed, options);
+  });
+
+  util::TableWriter table({"load pkt/s", "pure-leach mJ/pkt", "scheme1 mJ/pkt",
+                           "scheme2 mJ/pkt", "s1 saving %"});
+  for (const double load : loads) {
+    double energy[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].load != load) continue;
+      energy[static_cast<int>(jobs[i].protocol)] += results[i].energy_per_delivered_packet_j;
+    }
+    for (double& value : energy) value = value / static_cast<double>(args.reps) * 1e3;
+    table.new_row()
+        .cell(load, 0)
+        .cell(energy[0], 3)
+        .cell(energy[1], 3)
+        .cell(energy[2], 3)
+        .cell(100.0 * (1.0 - energy[1] / energy[0]), 1);
+  }
+  table.render(std::cout);
+  std::cout << "\npaper shape check: the saving column sits near 30-40% at low load and\n"
+               "shrinks as the load grows (scheme1 lowers its threshold more often).\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// bench_micro_components — google-benchmark micro-benchmarks of the hot
+// substrate components: event queue operations, fading evaluation, PER
+// evaluation, LEACH election, and whole-network event throughput.
+#include <benchmark/benchmark.h>
+
+#include "channel/fading.hpp"
+#include "channel/link_manager.hpp"
+#include "core/network.hpp"
+#include "leach/election.hpp"
+#include "phy/error_model.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace caem;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.schedule(rng.uniform(), [](double) {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_JakesFadingEval(benchmark::State& state) {
+  channel::JakesRayleighFading fading(3.0, util::Rng(2),
+                                      static_cast<std::size_t>(state.range(0)));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fading.power_gain(t));
+    t += 1e-3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_JakesFadingEval)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LinkSnrEval(benchmark::State& state) {
+  sim::RngRegistry rng(3);
+  channel::ChannelConfig config;
+  channel::LinkManager links(config, &rng);
+  const auto a = links.add_static_node({0, 0});
+  const auto b = links.add_static_node({30, 0});
+  const channel::LinkBudget budget{0.0, -101.0};
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(links.snr_db(a, b, t, budget));
+    t += 1e-3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LinkSnrEval);
+
+void BM_PacketErrorRate(benchmark::State& state) {
+  const phy::AbicmTable table;
+  const phy::PacketErrorModel model(&table);
+  double snr = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.packet_error_rate(snr < 12 ? 0 : 3, snr, 2048.0));
+    snr = snr >= 25.0 ? 5.0 : snr + 0.1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketErrorRate);
+
+void BM_LeachElection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  leach::Election election(n, 0.05);
+  util::Rng rng(4);
+  const std::vector<bool> alive(n, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(election.elect(alive, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LeachElection)->Arg(100)->Arg(1000);
+
+void BM_NetworkSimulatedSecond(benchmark::State& state) {
+  // Whole-network throughput: simulated seconds per wall second for the
+  // paper's default 100-node network under Scheme 1.
+  core::NetworkConfig config;
+  config.initial_energy_j = 1e6;
+  core::Network network(config, core::Protocol::kCaemScheme1, 7);
+  network.start();
+  double horizon = 0.0;
+  for (auto _ : state) {
+    horizon += 1.0;
+    network.simulator().run_until(horizon);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(network.simulator().executed_events()),
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetworkSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

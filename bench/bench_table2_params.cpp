@@ -1,0 +1,53 @@
+// bench_table2_params — reproduces Table II: the physical simulation
+// parameters, as configured in core::NetworkConfig, including the unit
+// substitutions documented in DESIGN.md.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "phy/abicm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace caem;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const core::NetworkConfig& config = args.config;
+  bench::print_header("Table II — physical simulation parameters",
+                      "parameter values used by every figure bench");
+
+  util::TableWriter table({"parameter", "paper (Table II)", "this build"});
+  const auto row = [&](const std::string& name, const std::string& paper,
+                       const std::string& ours) {
+    table.new_row().cell(name).cell(paper).cell(ours);
+  };
+  row("testing field", "~100 m x 100 m", util::format_fixed(config.field_size_m, 0) + " m sq");
+  row("number of nodes", "100", std::to_string(config.node_count));
+  row("bandwidth (ABICM modes)", "2, 1, 0.45, 0.25 Mbps", "2, 1, 0.45, 0.25 Mbps");
+  row("percentage of CH", "5%", util::format_fixed(config.ch_fraction * 100, 0) + "%");
+  row("tx power, data", "0.66 W", util::format_fixed(config.data_tx_w, 3) + " W");
+  row("rx power, data", "0.305 W", util::format_fixed(config.data_rx_w, 3) + " W");
+  row("sleep power, data", "3.5 (unit lost)", util::format_fixed(config.data_sleep_w * 1e6, 1) + " uW");
+  row("tx power, tone", "92 (unit lost)", util::format_fixed(config.tone_tx_w * 1e3, 0) + " mW");
+  row("rx power, tone", "36 (unit lost)", util::format_fixed(config.tone_rx_w * 1e3, 0) + " mW");
+  row("packet length", "2 Kbits", util::format_fixed(config.packet_bits, 0) + " bits");
+  row("sensing delay", "8 (unit lost)", util::format_fixed(config.sensing_delay_s * 1e3, 0) + " ms");
+  row("contention window", "10", std::to_string(config.backoff.cw));
+  row("buffer size", "50", std::to_string(config.buffer_capacity));
+  row("initial energy", "10 J", util::format_fixed(config.initial_energy_j, 1) + " J");
+  row("queue sampling m", "5", std::to_string(config.sample_every_m));
+  row("Q_threshold", "15", std::to_string(config.arm_queue_length));
+  row("burst min/max", "3 / 8", std::to_string(config.burst.min_packets) + " / " +
+                                    std::to_string(config.burst.max_packets));
+  row("max retransmissions", "6", std::to_string(config.backoff.max_retries));
+  table.render(std::cout);
+
+  std::cout << "\nABICM switching thresholds (substitution, see DESIGN.md):\n";
+  const phy::AbicmTable modes;
+  util::TableWriter mode_table({"mode", "rate", "min SNR dB"});
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    mode_table.new_row()
+        .cell(std::string(modes.mode(i).name))
+        .cell(modes.mode(i).data_rate_bps / 1e6, 3)
+        .cell(modes.mode(i).min_snr_db, 1);
+  }
+  mode_table.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// battlefield_surveillance.cpp — bursty event traffic and fairness.
+//
+// Surveillance sensors are quiet until something happens, then report a
+// volley of packets.  Bursts stress exactly the part of CAEM the paper
+// worries about: Scheme 2 starves nodes whose channel is bad while their
+// queues fill, Scheme 1's adaptive threshold relieves them.  This example
+// uses the BurstSource workload and compares queue fairness (the paper's
+// Fig 12 metric) and buffer overflow drops across protocols.
+//
+//   ./battlefield_surveillance [key=value ...]
+#include <iostream>
+#include <vector>
+
+#include "core/simulation_runner.hpp"
+#include "util/table_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace caem;
+
+  core::NetworkConfig config;
+  config.traffic_kind = "burst";
+  config.traffic_rate_pps = 10.0;  // mean aggregate rate; bursts of ~5
+  config.buffer_capacity = 50;
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    config.apply_overrides(util::Config::from_args(args));
+  } catch (const std::exception& error) {
+    std::cerr << "bad arguments: " << error.what() << "\n";
+    return 1;
+  }
+
+  core::RunOptions options;
+  options.max_sim_s = 200.0;
+
+  std::cout << "Battlefield surveillance: burst traffic, mean " << config.traffic_rate_pps
+            << " pkt/s/node, buffer " << config.buffer_capacity << " packets\n\n";
+
+  util::TableWriter table({"protocol", "queue stddev", "overflow drops", "retry drops",
+                           "delivery%", "p95 delay ms", "mJ/packet"});
+  for (const core::Protocol protocol : core::kAllProtocols) {
+    const core::RunResult run =
+        core::SimulationRunner::run(config, protocol, /*seed=*/1234, options);
+    table.new_row()
+        .cell(std::string(core::to_string(protocol)))
+        .cell(run.mean_queue_stddev, 2)
+        .cell(static_cast<std::size_t>(run.dropped_overflow))
+        .cell(static_cast<std::size_t>(run.dropped_retry))
+        .cell(100.0 * run.delivery_rate, 1)
+        .cell(1e3 * run.p95_delay_s, 1)
+        .cell(1e3 * run.energy_per_delivered_packet_j, 3);
+  }
+  table.render(std::cout);
+
+  std::cout << "\nExpect scheme2 to show the worst fairness (highest queue stddev /\n"
+               "overflow) and scheme1 to trade a little energy for a smoother\n"
+               "queue distribution — the paper's energy/fairness trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "channel/fading.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace caem::channel {
+
+JakesRayleighFading::JakesRayleighFading(double doppler_hz, util::Rng rng,
+                                         std::size_t oscillators)
+    : doppler_hz_(doppler_hz) {
+  if (doppler_hz <= 0.0) throw std::invalid_argument("JakesRayleighFading: f_d must be > 0");
+  if (oscillators == 0) throw std::invalid_argument("JakesRayleighFading: need oscillators");
+  const auto m = static_cast<double>(oscillators);
+  cos_alpha_.reserve(oscillators);
+  phase_i_.reserve(oscillators);
+  phase_q_.reserve(oscillators);
+  // Zheng-Xiao: alpha_n = (2 pi n - pi + theta) / (4 M) with one random
+  // theta per process; independent random phases per quadrature.
+  const double theta = rng.uniform(-M_PI, M_PI);
+  for (std::size_t n = 1; n <= oscillators; ++n) {
+    const double alpha = (2.0 * M_PI * static_cast<double>(n) - M_PI + theta) / (4.0 * m);
+    cos_alpha_.push_back(std::cos(alpha));
+    phase_i_.push_back(rng.uniform(-M_PI, M_PI));
+    phase_q_.push_back(rng.uniform(-M_PI, M_PI));
+  }
+  scale_ = std::sqrt(1.0 / m);  // E[h_I^2] = E[h_Q^2] = 1/2 -> E[|h|^2] = 1
+}
+
+double JakesRayleighFading::in_phase(double time_s) const {
+  const double w = 2.0 * M_PI * doppler_hz_ * time_s;
+  double sum = 0.0;
+  for (std::size_t n = 0; n < cos_alpha_.size(); ++n) {
+    sum += std::cos(w * cos_alpha_[n] + phase_i_[n]);
+  }
+  return scale_ * sum;
+}
+
+double JakesRayleighFading::quadrature(double time_s) const {
+  const double w = 2.0 * M_PI * doppler_hz_ * time_s;
+  double sum = 0.0;
+  for (std::size_t n = 0; n < cos_alpha_.size(); ++n) {
+    sum += std::sin(w * cos_alpha_[n] + phase_q_[n]);
+  }
+  return scale_ * sum;
+}
+
+double JakesRayleighFading::power_gain(double time_s) {
+  const double hi = in_phase(time_s);
+  const double hq = quadrature(time_s);
+  return hi * hi + hq * hq;
+}
+
+RicianFading::RicianFading(double doppler_hz, double k_factor, util::Rng rng,
+                           std::size_t oscillators)
+    : diffuse_(doppler_hz, rng.fork("diffuse"), oscillators),
+      k_factor_(k_factor),
+      los_doppler_hz_(doppler_hz * 0.7),  // LoS arrival at an oblique angle
+      los_phase_(rng.uniform(-M_PI, M_PI)) {
+  if (k_factor < 0.0) throw std::invalid_argument("RicianFading: K must be >= 0");
+}
+
+double RicianFading::power_gain(double time_s) {
+  // h = sqrt(K/(K+1)) e^{j(2 pi f_LoS t + phi)} + sqrt(1/(K+1)) h_diffuse
+  const double los_amp = std::sqrt(k_factor_ / (k_factor_ + 1.0));
+  const double diffuse_amp = std::sqrt(1.0 / (k_factor_ + 1.0));
+  const double angle = 2.0 * M_PI * los_doppler_hz_ * time_s + los_phase_;
+  // Recover quadratures of the diffuse part through the public helpers of
+  // JakesRayleighFading (power_gain alone is not enough for the sum).
+  const double hi = diffuse_amp * diffuse_.in_phase(time_s) + los_amp * std::cos(angle);
+  const double hq = diffuse_amp * diffuse_.quadrature(time_s) + los_amp * std::sin(angle);
+  return hi * hi + hq * hq;
+}
+
+BlockRayleighFading::BlockRayleighFading(double block_duration_s, util::Rng rng)
+    : block_s_(block_duration_s), rng_(rng) {
+  if (block_duration_s <= 0.0) {
+    throw std::invalid_argument("BlockRayleighFading: block duration must be > 0");
+  }
+}
+
+double BlockRayleighFading::power_gain(double time_s) {
+  const auto block = static_cast<long long>(std::floor(time_s / block_s_));
+  if (block != current_block_) {
+    // Draw a fresh Exp(1) gain for the new block.  Blocks are consumed in
+    // order by the simulator, so sequential draws keep determinism.
+    current_gain_ = rng_.exponential_mean(1.0);
+    current_block_ = block;
+  }
+  return current_gain_;
+}
+
+double bessel_j0(double x) noexcept {
+  const double ax = std::fabs(x);
+  if (ax < 8.0) {
+    const double y = x * x;
+    const double p1 = 57568490574.0 + y * (-13362590354.0 + y * (651619640.7 +
+                      y * (-11214424.18 + y * (77392.33017 + y * (-184.9052456)))));
+    const double p2 = 57568490411.0 + y * (1029532985.0 + y * (9494680.718 +
+                      y * (59272.64853 + y * (267.8532712 + y))));
+    return p1 / p2;
+  }
+  const double z = 8.0 / ax;
+  const double y = z * z;
+  const double xx = ax - 0.785398164;
+  const double p1 = 1.0 + y * (-0.1098628627e-2 + y * (0.2734510407e-4 +
+                    y * (-0.2073370639e-5 + y * 0.2093887211e-6)));
+  const double p2 = -0.1562499995e-1 + y * (0.1430488765e-3 + y * (-0.6911147651e-5 +
+                    y * (0.7621095161e-6 + y * (-0.934935152e-7))));
+  return std::sqrt(0.636619772 / ax) * (std::cos(xx) * p1 - z * std::sin(xx) * p2);
+}
+
+}  // namespace caem::channel

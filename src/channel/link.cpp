@@ -1,0 +1,44 @@
+#include "channel/link.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace caem::channel {
+
+double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) noexcept {
+  const double thermal_w = util::kBoltzmann * 290.0 * bandwidth_hz;
+  return util::watts_to_dbm(thermal_w) + noise_figure_db;
+}
+
+Link::Link(const PathLossModel* path_loss, MobilityModel* a, MobilityModel* b,
+           GaussMarkovShadowing shadowing, std::unique_ptr<FadingModel> fading)
+    : path_loss_(path_loss),
+      a_(a),
+      b_(b),
+      shadowing_(std::move(shadowing)),
+      fading_(std::move(fading)) {
+  if (path_loss_ == nullptr || a_ == nullptr || b_ == nullptr || !fading_) {
+    throw std::invalid_argument("Link: null component");
+  }
+}
+
+double Link::distance_m_at(double time_s) {
+  return distance_m(a_->position_at(time_s), b_->position_at(time_s));
+}
+
+double Link::gain_db(double time_s) {
+  const double loss = path_loss_->loss_db(distance_m_at(time_s));
+  const double shadow = shadowing_.value_db(time_s);
+  // Fading gain can be arbitrarily close to 0 in a deep fade; floor it so
+  // the dB conversion stays finite (-80 dB fade is far below any mode).
+  const double fade = std::max(fading_->power_gain(time_s), 1e-8);
+  return -loss + shadow + util::linear_to_db(fade);
+}
+
+double Link::snr_db(double time_s, const LinkBudget& budget) {
+  return budget.tx_power_dbm + gain_db(time_s) - budget.noise_floor_dbm;
+}
+
+}  // namespace caem::channel

@@ -1,0 +1,56 @@
+// link.hpp — the composite time-varying channel between two nodes.
+//
+// gain_db(t) = -path_loss(distance(t)) + shadowing_db(t) + 10 log10(fading(t))
+// snr_db(t)  = tx_power_dbm + gain_db(t) - noise_floor_dbm
+//
+// One Link object serves both directions (the paper's reciprocity
+// assumption G_ab == G_ba), which is exactly what lets sensors estimate
+// the data-channel CSI from the received tone-signal strength.
+#pragma once
+
+#include <memory>
+
+#include "channel/fading.hpp"
+#include "channel/mobility.hpp"
+#include "channel/path_loss.hpp"
+#include "channel/shadowing.hpp"
+
+namespace caem::channel {
+
+/// Radio-link power budget for SNR computation.
+struct LinkBudget {
+  double tx_power_dbm = 0.0;        ///< radiated RF power (not electronics draw)
+  double noise_floor_dbm = -101.0;  ///< thermal noise + receiver noise figure
+};
+
+/// Thermal-noise floor in dBm for a bandwidth and receiver noise figure
+/// at T = 290 K:  -174 dBm/Hz + 10 log10(B) + NF.
+[[nodiscard]] double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) noexcept;
+
+class Link {
+ public:
+  /// @param path_loss  shared distance model (owned by the LinkManager)
+  /// @param a, b       endpoint mobility models (owned by the LinkManager)
+  Link(const PathLossModel* path_loss, MobilityModel* a, MobilityModel* b,
+       GaussMarkovShadowing shadowing, std::unique_ptr<FadingModel> fading);
+
+  /// Composite channel power gain in dB (negative for real links).
+  [[nodiscard]] double gain_db(double time_s);
+
+  /// Instantaneous SNR in dB for the given budget.
+  [[nodiscard]] double snr_db(double time_s, const LinkBudget& budget);
+
+  /// Current endpoint distance (metres).
+  [[nodiscard]] double distance_m_at(double time_s);
+
+  [[nodiscard]] const FadingModel& fading() const noexcept { return *fading_; }
+
+ private:
+  const PathLossModel* path_loss_;
+  MobilityModel* a_;
+  MobilityModel* b_;
+  GaussMarkovShadowing shadowing_;
+  std::unique_ptr<FadingModel> fading_;
+};
+
+}  // namespace caem::channel

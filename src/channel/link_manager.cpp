@@ -1,0 +1,70 @@
+#include "channel/link_manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace caem::channel {
+
+namespace {
+[[nodiscard]] std::uint64_t pair_key(NodeId a, NodeId b) noexcept {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+}  // namespace
+
+LinkManager::LinkManager(ChannelConfig config, sim::RngRegistry* rng)
+    : config_(config), rng_(rng) {
+  if (rng_ == nullptr) throw std::invalid_argument("LinkManager: null RNG registry");
+  path_loss_ = std::make_unique<LogDistancePathLoss>(config_.path_loss_exponent,
+                                                     config_.path_loss_ref_db);
+}
+
+NodeId LinkManager::add_node(std::unique_ptr<MobilityModel> mobility) {
+  if (!mobility) throw std::invalid_argument("LinkManager: null mobility model");
+  nodes_.push_back(std::move(mobility));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId LinkManager::add_static_node(Vec2 position) {
+  return add_node(std::make_unique<StaticPosition>(position));
+}
+
+std::unique_ptr<FadingModel> LinkManager::make_fading(const std::string& stream_tag) {
+  util::Rng stream = rng_->make_stream(stream_tag);
+  switch (config_.fading_kind) {
+    case FadingKind::kJakesRayleigh:
+      return std::make_unique<JakesRayleighFading>(config_.doppler_hz, stream,
+                                                   config_.jakes_oscillators);
+    case FadingKind::kRician:
+      return std::make_unique<RicianFading>(config_.doppler_hz, config_.rician_k, stream,
+                                            config_.jakes_oscillators);
+    case FadingKind::kBlock:
+      return std::make_unique<BlockRayleighFading>(0.423 / config_.doppler_hz, stream);
+  }
+  throw std::logic_error("LinkManager: unknown fading kind");
+}
+
+Link& LinkManager::link(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("LinkManager: self link");
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::invalid_argument("LinkManager: unknown node id");
+  }
+  const std::uint64_t key = pair_key(a, b);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    const std::string tag = std::to_string(std::min(a, b)) + "-" + std::to_string(std::max(a, b));
+    GaussMarkovShadowing shadowing(config_.shadowing_sigma_db, config_.shadowing_tau_s,
+                                   rng_->make_stream("shadow/" + tag));
+    auto link = std::make_unique<Link>(path_loss_.get(), nodes_[a].get(), nodes_[b].get(),
+                                       std::move(shadowing), make_fading("fading/" + tag));
+    it = links_.emplace(key, std::move(link)).first;
+  }
+  return *it->second;
+}
+
+double LinkManager::snr_db(NodeId a, NodeId b, double time_s, const LinkBudget& budget) {
+  return link(a, b).snr_db(time_s, budget);
+}
+
+}  // namespace caem::channel

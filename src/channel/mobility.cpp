@@ -1,0 +1,47 @@
+#include "channel/mobility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caem::channel {
+
+RandomWaypoint::RandomWaypoint(Vec2 field_min, Vec2 field_max, double min_speed_mps,
+                               double max_speed_mps, double pause_s, util::Rng rng)
+    : field_min_(field_min),
+      field_max_(field_max),
+      min_speed_(min_speed_mps),
+      max_speed_(max_speed_mps),
+      pause_s_(pause_s),
+      rng_(rng) {
+  if (field_max.x <= field_min.x || field_max.y <= field_min.y) {
+    throw std::invalid_argument("RandomWaypoint: degenerate field");
+  }
+  if (min_speed_mps <= 0.0 || max_speed_mps < min_speed_mps) {
+    throw std::invalid_argument("RandomWaypoint: bad speed range");
+  }
+  if (pause_s < 0.0) throw std::invalid_argument("RandomWaypoint: negative pause");
+}
+
+void RandomWaypoint::start_new_leg(double now_s) {
+  from_ = initialised_ ? to_
+                       : Vec2{rng_.uniform(field_min_.x, field_max_.x),
+                              rng_.uniform(field_min_.y, field_max_.y)};
+  to_ = {rng_.uniform(field_min_.x, field_max_.x), rng_.uniform(field_min_.y, field_max_.y)};
+  const double speed = rng_.uniform(min_speed_, max_speed_);
+  const double travel_s = distance_m(from_, to_) / speed;
+  leg_start_s_ = now_s;
+  leg_end_s_ = now_s + travel_s;
+  pause_end_s_ = leg_end_s_ + pause_s_;
+  initialised_ = true;
+}
+
+Vec2 RandomWaypoint::position_at(double time_s) {
+  if (!initialised_) start_new_leg(time_s);
+  while (time_s >= pause_end_s_) start_new_leg(pause_end_s_);
+  if (time_s >= leg_end_s_) return to_;  // pausing at the waypoint
+  const double span = leg_end_s_ - leg_start_s_;
+  const double frac = span <= 0.0 ? 1.0 : std::clamp((time_s - leg_start_s_) / span, 0.0, 1.0);
+  return from_ + (to_ - from_) * frac;
+}
+
+}  // namespace caem::channel

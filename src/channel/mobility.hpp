@@ -1,0 +1,73 @@
+// mobility.hpp — node positions over time.
+//
+// The paper assumes "static or low mobility (< 1 m/s)" sensors.  Static
+// placement is the default; a low-speed random-waypoint model exists for
+// ablations.  Positions are queried lazily at event times with
+// non-decreasing timestamps.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace caem::channel {
+
+/// 2-D point/vector in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) noexcept { return {a.x * s, a.y * s}; }
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+};
+
+[[nodiscard]] inline double distance_m(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+
+/// Interface: where is the node at time t?
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  [[nodiscard]] virtual Vec2 position_at(double time_s) = 0;
+};
+
+/// A node that never moves.
+class StaticPosition final : public MobilityModel {
+ public:
+  explicit StaticPosition(Vec2 position) noexcept : position_(position) {}
+  [[nodiscard]] Vec2 position_at(double /*time_s*/) override { return position_; }
+
+ private:
+  Vec2 position_;
+};
+
+/// Random waypoint inside a rectangular field with uniform speed in
+/// [min_speed, max_speed] and an optional pause at each waypoint.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(Vec2 field_min, Vec2 field_max, double min_speed_mps, double max_speed_mps,
+                 double pause_s, util::Rng rng);
+
+  [[nodiscard]] Vec2 position_at(double time_s) override;
+
+ private:
+  void start_new_leg(double now_s);
+
+  Vec2 field_min_;
+  Vec2 field_max_;
+  double min_speed_;
+  double max_speed_;
+  double pause_s_;
+  util::Rng rng_;
+
+  Vec2 from_{};
+  Vec2 to_{};
+  double leg_start_s_ = 0.0;
+  double leg_end_s_ = 0.0;    // arrival at waypoint
+  double pause_end_s_ = 0.0;  // end of post-arrival pause
+  bool initialised_ = false;
+};
+
+}  // namespace caem::channel

@@ -1,0 +1,31 @@
+#include "channel/shadowing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace caem::channel {
+
+GaussMarkovShadowing::GaussMarkovShadowing(double sigma_db, double correlation_s, util::Rng rng)
+    : sigma_db_(sigma_db), correlation_s_(correlation_s), rng_(rng) {
+  if (sigma_db < 0.0) throw std::invalid_argument("Shadowing: sigma must be >= 0");
+  if (correlation_s <= 0.0) throw std::invalid_argument("Shadowing: tau must be > 0");
+}
+
+double GaussMarkovShadowing::value_db(double time_s) {
+  if (sigma_db_ == 0.0) return 0.0;
+  if (!initialised_) {
+    last_value_db_ = rng_.normal(0.0, sigma_db_);
+    last_time_s_ = time_s;
+    initialised_ = true;
+    return last_value_db_;
+  }
+  const double dt = time_s - last_time_s_;
+  if (dt <= 0.0) return last_value_db_;
+  const double rho = std::exp(-dt / correlation_s_);
+  last_value_db_ =
+      rho * last_value_db_ + std::sqrt(1.0 - rho * rho) * rng_.normal(0.0, sigma_db_);
+  last_time_s_ = time_s;
+  return last_value_db_;
+}
+
+}  // namespace caem::channel

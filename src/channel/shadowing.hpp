@@ -1,0 +1,38 @@
+// shadowing.hpp — macroscopic lognormal shadowing with temporal correlation.
+//
+// The paper: "shadowing loss ... fluctuates in macroscopic time scale
+// (2-5 seconds)".  We model it as a Gauss-Markov (Ornstein-Uhlenbeck)
+// process in the dB domain: stationary N(0, sigma^2) marginals with
+// exponential autocorrelation exp(-dt/tau).  Sampling is lazy — the value
+// is advanced analytically from the last query time, so the process costs
+// nothing between queries regardless of the gap.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace caem::channel {
+
+class GaussMarkovShadowing {
+ public:
+  /// @param sigma_db        marginal standard deviation in dB (0 disables)
+  /// @param correlation_s   decorrelation time constant tau (seconds)
+  GaussMarkovShadowing(double sigma_db, double correlation_s, util::Rng rng);
+
+  /// Shadowing value in dB at (non-decreasing within tolerance) time t.
+  /// Queries earlier than the last sample return the last value — the
+  /// process is not invertible backwards; MAC code never rewinds time.
+  [[nodiscard]] double value_db(double time_s);
+
+  [[nodiscard]] double sigma_db() const noexcept { return sigma_db_; }
+  [[nodiscard]] double correlation_s() const noexcept { return correlation_s_; }
+
+ private:
+  double sigma_db_;
+  double correlation_s_;
+  util::Rng rng_;
+  double last_time_s_ = 0.0;
+  double last_value_db_ = 0.0;
+  bool initialised_ = false;
+};
+
+}  // namespace caem::channel

@@ -1,0 +1,112 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace caem::core {
+
+energy::RadioPowerProfile NetworkConfig::data_radio_profile() const noexcept {
+  energy::RadioPowerProfile profile;
+  profile.sleep_w = data_sleep_w;
+  profile.startup_w = data_tx_w;  // synthesiser lock draws transmit-level current
+  profile.idle_w = data_idle_w;
+  profile.rx_w = data_rx_w;
+  profile.tx_w = data_tx_w;
+  profile.startup_time_s = data_startup_s;
+  return profile;
+}
+
+energy::RadioPowerProfile NetworkConfig::tone_radio_profile() const noexcept {
+  energy::RadioPowerProfile profile;
+  profile.sleep_w = tone_sleep_w;
+  profile.startup_w = tone_rx_w;
+  profile.idle_w = tone_rx_w * tone_monitor_duty;  // duty-cycled sniffing
+  profile.rx_w = tone_rx_w;
+  profile.tx_w = tone_tx_w;
+  profile.startup_time_s = tone_startup_s;
+  return profile;
+}
+
+channel::LinkBudget NetworkConfig::link_budget() const noexcept {
+  return channel::LinkBudget{
+      tx_power_dbm, channel::noise_floor_dbm(noise_bandwidth_hz, rx_noise_figure_db)};
+}
+
+void NetworkConfig::validate() const {
+  if (node_count < 2) throw std::invalid_argument("config: need at least 2 nodes");
+  if (field_size_m <= 0.0) throw std::invalid_argument("config: field size must be > 0");
+  if (ch_fraction <= 0.0 || ch_fraction > 1.0) {
+    throw std::invalid_argument("config: ch_fraction must be in (0,1]");
+  }
+  if (round_duration_s <= 0.0) throw std::invalid_argument("config: round duration must be > 0");
+  if (traffic_rate_pps <= 0.0) throw std::invalid_argument("config: traffic rate must be > 0");
+  if (packet_bits <= 0.0) throw std::invalid_argument("config: packet bits must be > 0");
+  if (buffer_capacity == 0) throw std::invalid_argument("config: buffer capacity must be >= 1");
+  if (sample_every_m == 0) throw std::invalid_argument("config: sampling m must be >= 1");
+  if (burst.min_packets == 0 || burst.max_packets < burst.min_packets) {
+    throw std::invalid_argument("config: bad burst policy");
+  }
+  if (initial_energy_j <= 0.0) throw std::invalid_argument("config: initial energy must be > 0");
+  if (dead_fraction <= 0.0 || dead_fraction > 1.0) {
+    throw std::invalid_argument("config: dead_fraction must be in (0,1]");
+  }
+  if (tone_monitor_duty <= 0.0 || tone_monitor_duty > 1.0) {
+    throw std::invalid_argument("config: tone_monitor_duty must be in (0,1]");
+  }
+  if (check_interval_s <= 0.0 || detect_delay_s < 0.0 || sensing_delay_s < 0.0) {
+    throw std::invalid_argument("config: bad MAC timing");
+  }
+  if (bs_distance_m <= 0.0 || aggregation_ratio < 0.0 || aggregation_ratio > 1.0) {
+    throw std::invalid_argument("config: bad forwarding parameters");
+  }
+  if (csi_gate_deadline_s < 0.0) {
+    throw std::invalid_argument("config: negative CSI-gate deadline");
+  }
+  if (mobility_kind != "static" && mobility_kind != "waypoint") {
+    throw std::invalid_argument("config: mobility_kind must be 'static' or 'waypoint'");
+  }
+  if (mobility_kind == "waypoint" && mobility_max_speed_mps <= 0.0) {
+    throw std::invalid_argument("config: mobility speed must be > 0");
+  }
+}
+
+void NetworkConfig::apply_overrides(const util::Config& overrides) {
+  node_count = static_cast<std::size_t>(
+      overrides.get_int("node_count", static_cast<long long>(node_count)));
+  field_size_m = overrides.get_double("field_size_m", field_size_m);
+  ch_fraction = overrides.get_double("ch_fraction", ch_fraction);
+  round_duration_s = overrides.get_double("round_duration_s", round_duration_s);
+  traffic_rate_pps = overrides.get_double("traffic_rate_pps", traffic_rate_pps);
+  traffic_kind = overrides.get_string("traffic_kind", traffic_kind);
+  packet_bits = overrides.get_double("packet_bits", packet_bits);
+  buffer_capacity = static_cast<std::size_t>(
+      overrides.get_int("buffer_capacity", static_cast<long long>(buffer_capacity)));
+  sample_every_m = static_cast<std::uint32_t>(
+      overrides.get_int("sample_every_m", sample_every_m));
+  arm_queue_length = static_cast<std::size_t>(
+      overrides.get_int("arm_queue_length", static_cast<long long>(arm_queue_length)));
+  burst.min_packets = static_cast<std::size_t>(
+      overrides.get_int("burst_min", static_cast<long long>(burst.min_packets)));
+  burst.max_packets = static_cast<std::size_t>(
+      overrides.get_int("burst_max", static_cast<long long>(burst.max_packets)));
+  burst.hold_timeout_s = overrides.get_double("burst_hold_s", burst.hold_timeout_s);
+  backoff.cw = static_cast<std::uint32_t>(overrides.get_int("backoff_cw", backoff.cw));
+  channel.doppler_hz = overrides.get_double("channel.doppler_hz", channel.doppler_hz);
+  channel.shadowing_sigma_db =
+      overrides.get_double("channel.shadowing_sigma_db", channel.shadowing_sigma_db);
+  channel.path_loss_exponent =
+      overrides.get_double("channel.path_loss_exponent", channel.path_loss_exponent);
+  tx_power_dbm = overrides.get_double("tx_power_dbm", tx_power_dbm);
+  initial_energy_j = overrides.get_double("initial_energy_j", initial_energy_j);
+  dead_fraction = overrides.get_double("dead_fraction", dead_fraction);
+  data_startup_s = overrides.get_double("data_startup_s", data_startup_s);
+  tone_monitor_duty = overrides.get_double("tone_monitor_duty", tone_monitor_duty);
+  mobility_kind = overrides.get_string("mobility_kind", mobility_kind);
+  mobility_max_speed_mps = overrides.get_double("mobility_max_speed_mps", mobility_max_speed_mps);
+  ch_forward_enabled = overrides.get_bool("ch_forward_enabled", ch_forward_enabled);
+  bs_distance_m = overrides.get_double("bs_distance_m", bs_distance_m);
+  aggregation_ratio = overrides.get_double("aggregation_ratio", aggregation_ratio);
+  csi_gate_deadline_s = overrides.get_double("csi_gate_deadline_s", csi_gate_deadline_s);
+  validate();
+}
+
+}  // namespace caem::core

@@ -1,0 +1,76 @@
+#include "core/experiment.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+namespace caem::core {
+
+std::vector<RunResult> parallel_runs(std::size_t count,
+                                     const std::function<RunResult(std::size_t)>& job,
+                                     std::size_t threads) {
+  if (!job) throw std::invalid_argument("parallel_runs: null job");
+  std::vector<RunResult> results(count);
+  if (count == 0) return results;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, count);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        results[i] = job(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+Replicated run_replicated(const NetworkConfig& config, Protocol protocol,
+                          std::uint64_t base_seed, std::size_t replications,
+                          const RunOptions& options, std::size_t threads) {
+  Replicated summary;
+  summary.runs = parallel_runs(
+      replications,
+      [&](std::size_t i) {
+        return SimulationRunner::run(config, protocol, base_seed + i, options);
+      },
+      threads);
+  for (const RunResult& run : summary.runs) {
+    // A lifetime of -1 means the threshold was never crossed inside the
+    // horizon; fold it as the horizon (a conservative lower bound).
+    const double lifetime =
+        run.lifetime.network_death_s >= 0.0 ? run.lifetime.network_death_s : run.sim_end_s;
+    summary.lifetime_s.add(lifetime);
+    const double first =
+        run.lifetime.first_death_s >= 0.0 ? run.lifetime.first_death_s : run.sim_end_s;
+    summary.first_death_s.add(first);
+    if (run.delivered_air > 0) summary.energy_per_packet_j.add(run.energy_per_delivered_packet_j);
+    summary.delivery_rate.add(run.delivery_rate);
+    summary.mean_delay_s.add(run.mean_delay_s);
+    summary.throughput_bps.add(run.throughput_bps);
+    summary.queue_stddev.add(run.mean_queue_stddev);
+    summary.total_consumed_j.add(run.total_consumed_j);
+  }
+  return summary;
+}
+
+}  // namespace caem::core

@@ -1,0 +1,45 @@
+// experiment.hpp — parallel execution of independent simulation runs.
+//
+// The benchmark harness sweeps (protocol x load x seed) grids; every
+// point is an independent Network, so we parallelise with a plain thread
+// pool over the job list (explicit parallelism, no shared mutable state —
+// the HPC-guide idiom).  Replication averaging helpers live here too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/simulation_runner.hpp"
+#include "util/stats.hpp"
+
+namespace caem::core {
+
+/// Run `job(i)` for i in [0, count) on up to `threads` workers and return
+/// the results in index order.  Exceptions in jobs propagate to the
+/// caller (first one wins).
+std::vector<RunResult> parallel_runs(std::size_t count,
+                                     const std::function<RunResult(std::size_t)>& job,
+                                     std::size_t threads = 0);
+
+/// Scalar summary over replications.
+struct Replicated {
+  util::OnlineStats lifetime_s;          ///< network lifetime (dead-fraction)
+  util::OnlineStats first_death_s;
+  util::OnlineStats energy_per_packet_j;
+  util::OnlineStats delivery_rate;
+  util::OnlineStats mean_delay_s;
+  util::OnlineStats throughput_bps;
+  util::OnlineStats queue_stddev;
+  util::OnlineStats total_consumed_j;
+  std::vector<RunResult> runs;           ///< the raw per-seed results
+};
+
+/// Run `replications` seeds of one (config, protocol) point in parallel
+/// and fold the headline scalars.  Seeds are base_seed, base_seed+1, ...
+Replicated run_replicated(const NetworkConfig& config, Protocol protocol,
+                          std::uint64_t base_seed, std::size_t replications,
+                          const RunOptions& options, std::size_t threads = 0);
+
+}  // namespace caem::core

@@ -1,0 +1,318 @@
+#include "core/network.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace caem::core {
+
+Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
+    : config_(std::move(config)),
+      protocol_(protocol),
+      sim_(),
+      rng_(seed),
+      links_(config_.channel, &rng_),
+      table_(),
+      timing_(phy::FrameFormat{config_.packet_bits, config_.header_bits, config_.preamble_s},
+              &table_),
+      error_model_(&table_),
+      metrics_(config_.node_count) {
+  config_.validate();
+  rounds_ = std::make_unique<leach::RoundManager>(config_.node_count, config_.ch_fraction,
+                                                  config_.round_duration_s);
+
+  // Place nodes uniformly in the square field and build them.
+  util::Rng placement = rng_.make_stream("placement");
+  const queueing::ThresholdPolicy policy = threshold_policy_for(protocol_);
+  nodes_.reserve(config_.node_count);
+  sources_.reserve(config_.node_count);
+  current_ch_.assign(config_.node_count, kNoCh);
+  for (std::uint32_t id = 0; id < config_.node_count; ++id) {
+    const channel::Vec2 position{placement.uniform(0.0, config_.field_size_m),
+                                 placement.uniform(0.0, config_.field_size_m)};
+    channel::NodeId channel_id = 0;
+    if (config_.mobility_kind == "waypoint") {
+      // The paper's "low mobility" regime: random waypoint below 1 m/s.
+      channel_id = links_.add_node(std::make_unique<channel::RandomWaypoint>(
+          channel::Vec2{0.0, 0.0},
+          channel::Vec2{config_.field_size_m, config_.field_size_m},
+          0.1 * config_.mobility_max_speed_mps, config_.mobility_max_speed_mps,
+          config_.mobility_pause_s, rng_.make_stream("mobility/" + std::to_string(id))));
+    } else {
+      channel_id = links_.add_static_node(position);
+    }
+    if (channel_id != id) throw std::logic_error("Network: node id mismatch");
+
+    auto csi = [this, id](double t) { return link_snr_db(id, t); };
+    const double deadline =
+        protocol_ == Protocol::kCaemDeadline ? config_.csi_gate_deadline_s : 0.0;
+    auto node = std::make_unique<Node>(
+        id, position, config_, policy, deadline, &sim_, &table_, &timing_, &error_model_,
+        tone::ToneMonitor::CsiProvider(csi), mac::SensorMac::TrueSnrProvider(csi),
+        rng_.make_stream("mac/" + std::to_string(id)),
+        rng_.make_stream("csi/" + std::to_string(id)));
+
+    node->queue().set_overflow_callback(
+        [this](const queueing::Packet& packet, double now) {
+          metrics_.record_drop(packet, queueing::DropReason::kBufferOverflow, now);
+        });
+    node->mac().set_drop_callback(
+        [this](const queueing::Packet& packet, queueing::DropReason reason, double now) {
+          metrics_.record_drop(packet, reason, now);
+        });
+    // Death is deferred one event so the MAC never observes its own state
+    // being torn down mid-callback.
+    node->battery().set_death_callback([this, id](double t) {
+      sim_.schedule_at(t, [this, id](double now) { handle_node_death(id, now); });
+    });
+
+    nodes_.push_back(std::move(node));
+    sources_.push_back(traffic::make_source(config_.traffic_kind, config_.traffic_rate_pps));
+  }
+}
+
+Network::~Network() = default;
+
+double Network::link_snr_db(std::uint32_t id, double time_s) {
+  const std::uint32_t ch = current_ch_.at(id);
+  if (ch == kNoCh || ch == id) return -1e9;  // no link this round
+  return links_.snr_db(id, ch, time_s, config_.link_budget());
+}
+
+std::vector<bool> Network::alive_flags() const {
+  std::vector<bool> alive(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) alive[i] = nodes_[i]->alive();
+  return alive;
+}
+
+std::vector<channel::Vec2> Network::positions(double time_s) {
+  std::vector<channel::Vec2> out(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out[i] = links_.mobility(static_cast<channel::NodeId>(i)).position_at(time_s);
+  }
+  return out;
+}
+
+void Network::start() {
+  if (started_) throw std::logic_error("Network: start() called twice");
+  started_ = true;
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) schedule_arrival(id);
+  sim_.schedule_at(0.0, [this](double now) { begin_round(now); });
+  schedule_energy_snapshot();
+  schedule_queue_snapshot();
+}
+
+// ------------------------------------------------------------------ rounds
+
+void Network::close_round(double now_s) {
+  // Detach sensors first so ClusterHeadMac::stop finds no active senders.
+  for (const auto& node : nodes_) {
+    if (node->alive()) node->mac().detach_round(now_s);
+  }
+  for (auto& cluster : active_clusters_) {
+    cluster.mac->stop(now_s);
+    collisions_total_ += cluster.mac->collisions();
+    for (std::uint64_t c = 0; c < cluster.mac->collisions(); ++c) metrics_.record_collision();
+  }
+  active_clusters_.clear();
+  for (const auto& node : nodes_) node->set_cluster_head(false);
+  current_ch_.assign(nodes_.size(), kNoCh);
+}
+
+void Network::begin_round(double now_s) {
+  close_round(now_s);
+  // Check battery state directly: a node can be depleted while its
+  // deferred death event is still in the queue behind this one.
+  const std::vector<bool> alive = alive_flags();
+  bool any_alive = false;
+  for (const bool a : alive) any_alive |= a;
+  if (!any_alive) {
+    sim_.stop();
+    return;
+  }
+
+  util::Rng& leach_rng = rng_.stream("leach");
+  const auto clusters = rounds_->next_round(positions(now_s), alive, leach_rng);
+
+  active_clusters_.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    Node& head = *nodes_.at(cluster.head);
+    head.set_cluster_head(true);
+    current_ch_[cluster.head] = cluster.head;
+    // Packets the head queued as an ordinary sensor are aggregated
+    // locally now that it is the sink itself.
+    head.queue().drain([this, now_s](const queueing::Packet& packet) {
+      metrics_.record_self_delivered(packet, now_s);
+    });
+
+    ActiveCluster active;
+    active.head = cluster.head;
+    active.members = cluster.members;
+    active.broadcaster = std::make_unique<tone::ToneBroadcaster>(&sim_, &head.tone_radio());
+    active.mac = std::make_unique<mac::ClusterHeadMac>(
+        &sim_, cluster.head, &head.data_radio(), active.broadcaster.get(),
+        config_.detect_delay_s);
+    const std::uint32_t head_id = cluster.head;
+    active.mac->set_delivery_callback(
+        [this, head_id](const queueing::Packet& packet, phy::ModeIndex mode,
+                        std::uint32_t /*sender*/, double now) {
+          metrics_.record_delivered(packet, mode, now);
+          if (config_.ch_forward_enabled) charge_forwarding(head_id, packet, now);
+        });
+    active.mac->start(now_s);
+
+    for (const std::uint32_t member : cluster.members) {
+      current_ch_[member] = cluster.head;
+      Node& node = *nodes_.at(member);
+      node.monitor().attach(active.broadcaster.get());
+      node.mac().attach_round(now_s, active.mac.get());
+    }
+    active_clusters_.push_back(std::move(active));
+  }
+
+  sim_.schedule_at(now_s + config_.round_duration_s,
+                   [this](double now) { begin_round(now); });
+}
+
+// ----------------------------------------------------------------- traffic
+
+void Network::schedule_arrival(std::uint32_t id) {
+  util::Rng& rng = rng_.stream("traffic/" + std::to_string(id));
+  const double dt = sources_.at(id)->next_interarrival_s(rng);
+  sim_.schedule_in(dt, [this, id](double now) { handle_arrival(id, now); });
+}
+
+void Network::handle_arrival(std::uint32_t id, double now_s) {
+  Node& node = *nodes_.at(id);
+  if (!node.alive()) return;  // dead nodes stop sensing; no reschedule
+  queueing::Packet packet;
+  packet.id = next_packet_id_++;
+  packet.source = id;
+  packet.created_s = now_s;
+  packet.payload_bits = config_.packet_bits;
+  metrics_.record_generated(id, now_s);
+
+  if (node.is_cluster_head()) {
+    // The CH aggregates its own observation locally: no radio involved.
+    metrics_.record_self_delivered(packet, now_s);
+  } else {
+    node.queue().push(packet, now_s);  // overflow callback handles drops
+    node.controller().on_arrival(node.queue().size());
+    node.mac().on_packet_arrival(now_s);
+  }
+  schedule_arrival(id);
+}
+
+// CH -> base station forwarding cost (extension): first-order radio
+// model, charged per aggregated bit against the CH's battery/ledger.
+void Network::charge_forwarding(std::uint32_t head_id, const queueing::Packet& packet,
+                                double now_s) {
+  Node& head = *nodes_.at(head_id);
+  if (!head.alive()) return;
+  const double bits = packet.payload_bits * config_.aggregation_ratio;
+  const double per_bit = config_.fwd_e_elec_j_per_bit +
+                         config_.fwd_eps_amp_j_per_bit_m2 * config_.bs_distance_m *
+                             config_.bs_distance_m;
+  const double joules = bits * per_bit;
+  const double drawn = head.battery().drain(joules, now_s);
+  head.ledger().add(energy::RadioId::kData, energy::RadioState::kTx, drawn);
+}
+
+// ------------------------------------------------------------------ deaths
+
+void Network::handle_node_death(std::uint32_t id, double now_s) {
+  metrics_.record_node_death(id, now_s);
+  Node& node = *nodes_.at(id);
+  node.mac().die(now_s);
+  if (node.is_cluster_head()) {
+    // Fig 4: a collapsed CH goes silent; members notice the missing tone
+    // at their next check and sleep until the next round.
+    for (auto& cluster : active_clusters_) {
+      if (cluster.head == id && cluster.mac->running()) {
+        cluster.mac->stop(now_s);
+      }
+    }
+  }
+  if (metrics_.alive_count() == 0) sim_.stop();
+}
+
+// --------------------------------------------------------------- snapshots
+
+void Network::schedule_energy_snapshot() {
+  sim_.schedule_in(config_.energy_snapshot_interval_s, [this](double now) {
+    if (metrics_.alive_count() == 0) return;
+    metrics_.snapshot_energy(now, remaining_energy_j());
+    schedule_energy_snapshot();
+  });
+}
+
+void Network::schedule_queue_snapshot() {
+  sim_.schedule_in(config_.queue_snapshot_interval_s, [this](double /*now*/) {
+    if (metrics_.alive_count() == 0) return;
+    std::vector<double> lengths;
+    lengths.reserve(nodes_.size());
+    for (const auto& node : nodes_) {
+      if (node->alive() && !node->is_cluster_head()) {
+        lengths.push_back(static_cast<double>(node->queue().size()));
+      }
+    }
+    metrics_.snapshot_queues(lengths);
+    schedule_queue_snapshot();
+  });
+}
+
+std::vector<double> Network::remaining_energy_j() const {
+  std::vector<double> remaining(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // settle() so time-in-state up to "now" is integrated exactly.
+    const double now = sim_.now();
+    const_cast<Node&>(*nodes_[i]).settle(now);
+    remaining[i] = nodes_[i]->battery().remaining_j();
+  }
+  return remaining;
+}
+
+double Network::total_consumed_j() const noexcept {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node->battery().consumed_j();
+  return total;
+}
+
+mac::SensorMacCounters Network::mac_totals() const {
+  mac::SensorMacCounters total;
+  for (const auto& node : nodes_) {
+    const auto& c = node->mac().counters();
+    total.wakeups += c.wakeups;
+    total.checks += c.checks;
+    total.csi_denied += c.csi_denied;
+    total.busy_denied += c.busy_denied;
+    total.bursts_started += c.bursts_started;
+    total.bursts_completed += c.bursts_completed;
+    total.frames_sent += c.frames_sent;
+    total.frames_failed += c.frames_failed;
+    total.collisions += c.collisions;
+    total.packets_dropped_retry += c.packets_dropped_retry;
+    total.deadline_overrides += c.deadline_overrides;
+  }
+  return total;
+}
+
+Network::ControllerTotals Network::controller_totals() const {
+  ControllerTotals totals;
+  for (const auto& node : nodes_) {
+    // controller() is non-const on Node; counters are logically const.
+    auto& mutable_node = const_cast<Node&>(*node);
+    totals.lower_events += mutable_node.controller().lower_events();
+    totals.raise_events += mutable_node.controller().raise_events();
+  }
+  return totals;
+}
+
+void Network::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  const double now = sim_.now();
+  close_round(now);
+  for (const auto& node : nodes_) node->settle(now);
+}
+
+}  // namespace caem::core

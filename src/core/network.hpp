@@ -1,0 +1,130 @@
+// network.hpp — the whole simulated sensor network for one run.
+//
+// Owns the simulator, channel, PHY tables, LEACH round sequencing, the
+// nodes, and the per-round cluster MAC objects, and wires every callback
+// (traffic arrivals, deliveries, drops, deaths, snapshots) into the
+// MetricsCollector.  One Network == one independent, reproducible run;
+// parallelism happens across Network instances (ExperimentRunner).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/link_manager.hpp"
+#include "core/config.hpp"
+#include "core/node.hpp"
+#include "core/protocol.hpp"
+#include "leach/round_manager.hpp"
+#include "mac/cluster_head_mac.hpp"
+#include "metrics/collector.hpp"
+#include "phy/abicm.hpp"
+#include "phy/error_model.hpp"
+#include "phy/frame.hpp"
+#include "sim/rng_registry.hpp"
+#include "sim/simulator.hpp"
+#include "tone/tone_broadcaster.hpp"
+#include "traffic/source.hpp"
+
+namespace caem::core {
+
+class Network {
+ public:
+  Network(NetworkConfig config, Protocol protocol, std::uint64_t seed);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Schedule the initial round, traffic and snapshot events.  Call once
+  /// before running the simulator.
+  void start();
+
+  /// Settle energy accounting, close the current round and fold the
+  /// remaining per-round counters into the totals.  Call after the last
+  /// run_until.
+  void finalize();
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] metrics::MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const metrics::MetricsCollector& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Protocol protocol() const noexcept { return protocol_; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] const Node& node(std::size_t i) const { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t alive_count() const noexcept { return metrics_.alive_count(); }
+
+  [[nodiscard]] std::uint32_t rounds_started() const noexcept {
+    return rounds_ ? rounds_->rounds_started() : 0;
+  }
+
+  /// Collision total across all rounds so far (current round included
+  /// only after finalize()).
+  [[nodiscard]] std::uint64_t collisions_total() const noexcept { return collisions_total_; }
+
+  /// Sum of all nodes' MAC counters (diagnostics, ablation benches).
+  [[nodiscard]] mac::SensorMacCounters mac_totals() const;
+
+  /// Aggregate threshold-controller activity (Scheme 1 diagnostics).
+  struct ControllerTotals {
+    std::uint64_t lower_events = 0;
+    std::uint64_t raise_events = 0;
+  };
+  [[nodiscard]] ControllerTotals controller_totals() const;
+
+  /// Total energy consumed by all nodes so far (finalize()/snapshot first
+  /// for exact state integration).
+  [[nodiscard]] double total_consumed_j() const noexcept;
+
+  /// Remaining energy per node (J).
+  [[nodiscard]] std::vector<double> remaining_energy_j() const;
+
+ private:
+  struct ActiveCluster {
+    std::uint32_t head = 0;
+    std::vector<std::uint32_t> members;
+    std::unique_ptr<tone::ToneBroadcaster> broadcaster;
+    std::unique_ptr<mac::ClusterHeadMac> mac;
+  };
+
+  void begin_round(double now_s);
+  void close_round(double now_s);
+  void schedule_arrival(std::uint32_t id);
+  void handle_arrival(std::uint32_t id, double now_s);
+  void handle_node_death(std::uint32_t id, double now_s);
+  void charge_forwarding(std::uint32_t head_id, const queueing::Packet& packet, double now_s);
+  void schedule_energy_snapshot();
+  void schedule_queue_snapshot();
+  [[nodiscard]] double link_snr_db(std::uint32_t id, double time_s);
+  [[nodiscard]] std::vector<bool> alive_flags() const;
+  /// Node positions at a given time (mobility-aware; used for cluster
+  /// formation at round boundaries).
+  [[nodiscard]] std::vector<channel::Vec2> positions(double time_s);
+
+  static constexpr std::uint32_t kNoCh = 0xFFFFFFFFu;
+
+  NetworkConfig config_;
+  Protocol protocol_;
+  sim::Simulator sim_;
+  sim::RngRegistry rng_;
+  channel::LinkManager links_;
+  phy::AbicmTable table_;
+  phy::FrameTiming timing_;
+  phy::PacketErrorModel error_model_;
+  metrics::MetricsCollector metrics_;
+  std::unique_ptr<leach::RoundManager> rounds_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources_;
+  std::vector<std::uint32_t> current_ch_;
+  std::vector<ActiveCluster> active_clusters_;
+
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t collisions_total_ = 0;
+  bool started_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace caem::core

@@ -1,0 +1,75 @@
+// node.hpp — one sensor node: battery, dual radios, queue, controller,
+// tone monitor and MAC, wired together.  Nodes are created and owned by
+// core::Network, which supplies the cross-cutting pieces (simulator,
+// channel, PHY tables, callbacks).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "channel/mobility.hpp"
+#include "energy/battery.hpp"
+#include "energy/energy_ledger.hpp"
+#include "energy/radio_energy_model.hpp"
+#include "mac/sensor_mac.hpp"
+#include "phy/abicm.hpp"
+#include "phy/error_model.hpp"
+#include "phy/frame.hpp"
+#include "queueing/packet_queue.hpp"
+#include "queueing/threshold_controller.hpp"
+#include "tone/tone_broadcaster.hpp"
+#include "tone/tone_monitor.hpp"
+
+namespace caem::core {
+
+struct NetworkConfig;
+
+class Node {
+ public:
+  /// Built by Network; see network.cpp for the wiring.
+  Node(std::uint32_t id, channel::Vec2 position, const NetworkConfig& config,
+       queueing::ThresholdPolicy policy, double csi_gate_deadline_s, sim::Simulator* sim,
+       const phy::AbicmTable* table,
+       const phy::FrameTiming* timing, const phy::PacketErrorModel* error_model,
+       tone::ToneMonitor::CsiProvider csi_estimate, mac::SensorMac::TrueSnrProvider true_snr,
+       util::Rng mac_rng, util::Rng csi_rng);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] channel::Vec2 position() const noexcept { return position_; }
+  [[nodiscard]] bool alive() const noexcept { return !battery_.depleted(); }
+
+  /// Integrate radio state time up to `now` (metrics snapshots).
+  void settle(double now_s);
+
+  [[nodiscard]] energy::Battery& battery() noexcept { return battery_; }
+  [[nodiscard]] const energy::Battery& battery() const noexcept { return battery_; }
+  [[nodiscard]] energy::EnergyLedger& ledger() noexcept { return ledger_; }
+  [[nodiscard]] const energy::EnergyLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] energy::Radio& data_radio() noexcept { return data_radio_; }
+  [[nodiscard]] energy::Radio& tone_radio() noexcept { return tone_radio_; }
+  [[nodiscard]] queueing::PacketQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const queueing::PacketQueue& queue() const noexcept { return queue_; }
+  [[nodiscard]] queueing::ThresholdController& controller() noexcept { return controller_; }
+  [[nodiscard]] tone::ToneMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] mac::SensorMac& mac() noexcept { return *mac_; }
+  [[nodiscard]] const mac::SensorMac& mac() const noexcept { return *mac_; }
+
+  /// Whether this node serves as a cluster head in the current round.
+  [[nodiscard]] bool is_cluster_head() const noexcept { return is_ch_; }
+  void set_cluster_head(bool is_ch) noexcept { is_ch_ = is_ch; }
+
+ private:
+  std::uint32_t id_;
+  channel::Vec2 position_;
+  energy::Battery battery_;
+  energy::EnergyLedger ledger_;
+  energy::Radio data_radio_;
+  energy::Radio tone_radio_;
+  queueing::PacketQueue queue_;
+  queueing::ThresholdController controller_;
+  tone::ToneMonitor monitor_;
+  std::unique_ptr<mac::SensorMac> mac_;
+  bool is_ch_ = false;
+};
+
+}  // namespace caem::core

@@ -1,0 +1,40 @@
+#include "core/protocol.hpp"
+
+#include <stdexcept>
+
+namespace caem::core {
+
+const char* to_string(Protocol protocol) noexcept {
+  switch (protocol) {
+    case Protocol::kPureLeach: return "pure-leach";
+    case Protocol::kCaemScheme1: return "caem-scheme1";
+    case Protocol::kCaemScheme2: return "caem-scheme2";
+    case Protocol::kCaemDeadline: return "caem-deadline";
+  }
+  return "?";
+}
+
+Protocol protocol_from_string(const std::string& name) {
+  if (name == "leach" || name == "pure-leach") return Protocol::kPureLeach;
+  if (name == "scheme1" || name == "caem-scheme1" || name == "adaptive") {
+    return Protocol::kCaemScheme1;
+  }
+  if (name == "scheme2" || name == "caem-scheme2" || name == "fixed") {
+    return Protocol::kCaemScheme2;
+  }
+  if (name == "deadline" || name == "caem-deadline") return Protocol::kCaemDeadline;
+  throw std::invalid_argument("unknown protocol '" + name + "'");
+}
+
+queueing::ThresholdPolicy threshold_policy_for(Protocol protocol) noexcept {
+  switch (protocol) {
+    case Protocol::kPureLeach: return queueing::ThresholdPolicy::kNone;
+    case Protocol::kCaemScheme1: return queueing::ThresholdPolicy::kAdaptive;
+    case Protocol::kCaemScheme2: return queueing::ThresholdPolicy::kFixedHighest;
+    // The deadline variant gates like Scheme 2; the override lives in the MAC.
+    case Protocol::kCaemDeadline: return queueing::ThresholdPolicy::kFixedHighest;
+  }
+  return queueing::ThresholdPolicy::kNone;
+}
+
+}  // namespace caem::core

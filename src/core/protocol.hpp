@@ -1,0 +1,34 @@
+// protocol.hpp — the three protocols the paper evaluates.
+#pragma once
+
+#include <string>
+
+#include "queueing/threshold_controller.hpp"
+
+namespace caem::core {
+
+enum class Protocol {
+  kPureLeach,     ///< LEACH without channel adaptation (reference)
+  kCaemScheme1,   ///< CAEM + LEACH with adaptive threshold adjustment
+  kCaemScheme2,   ///< CAEM + LEACH, threshold fixed at the highest class
+  kCaemDeadline,  ///< extension: Scheme 2 + head-of-line deadline override
+};
+
+/// The three protocols the paper evaluates (Fig 8-12 sweeps).
+inline constexpr Protocol kAllProtocols[] = {Protocol::kPureLeach, Protocol::kCaemScheme1,
+                                             Protocol::kCaemScheme2};
+
+/// Paper protocols plus this library's extensions.
+inline constexpr Protocol kExtendedProtocols[] = {
+    Protocol::kPureLeach, Protocol::kCaemScheme1, Protocol::kCaemScheme2,
+    Protocol::kCaemDeadline};
+
+[[nodiscard]] const char* to_string(Protocol protocol) noexcept;
+
+/// Parse "leach" / "scheme1" / "scheme2" (throws on anything else).
+[[nodiscard]] Protocol protocol_from_string(const std::string& name);
+
+/// The threshold policy implementing each protocol's channel gate.
+[[nodiscard]] queueing::ThresholdPolicy threshold_policy_for(Protocol protocol) noexcept;
+
+}  // namespace caem::core

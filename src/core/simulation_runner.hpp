@@ -1,0 +1,66 @@
+// simulation_runner.hpp — run one configured network and harvest results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "mac/sensor_mac.hpp"
+#include "metrics/lifetime.hpp"
+#include "util/time_series.hpp"
+
+namespace caem::core {
+
+/// Everything a benchmark or example needs from one finished run.
+struct RunResult {
+  Protocol protocol = Protocol::kPureLeach;
+  std::uint64_t seed = 0;
+  double sim_end_s = 0.0;
+
+  // traffic accounting
+  std::uint64_t generated = 0;
+  std::uint64_t delivered_air = 0;   ///< received by a CH over the air
+  std::uint64_t delivered_self = 0;  ///< CH local aggregation
+  std::uint64_t dropped_overflow = 0;
+  std::uint64_t dropped_retry = 0;
+  std::uint64_t dropped_death = 0;
+  std::uint64_t collisions = 0;
+  double delivery_rate = 0.0;
+  double mean_delay_s = 0.0;
+  double p95_delay_s = 0.0;
+  double throughput_bps = 0.0;
+
+  // energy
+  double total_consumed_j = 0.0;
+  double energy_per_delivered_packet_j = 0.0;  ///< network J per over-the-air packet
+  util::TimeSeries avg_remaining_energy;       ///< Fig 8 trace
+
+  // lifetime (Fig 9 / Fig 10)
+  metrics::LifetimeReport lifetime;
+  util::TimeSeries nodes_alive;  ///< step series of alive count
+  std::size_t final_alive = 0;
+
+  // fairness (Fig 12)
+  double mean_queue_stddev = 0.0;
+
+  // MAC / controller diagnostics
+  mac::SensorMacCounters mac;
+  std::uint64_t delivered_per_mode[4] = {0, 0, 0, 0};
+  std::uint64_t threshold_lower_events = 0;
+  std::uint64_t threshold_raise_events = 0;
+};
+
+struct RunOptions {
+  double max_sim_s = 600.0;    ///< hard horizon
+  bool run_to_death = false;   ///< keep going until every node dies (or horizon)
+};
+
+class SimulationRunner {
+ public:
+  /// Build, run and tear down one network.
+  static RunResult run(const NetworkConfig& config, Protocol protocol, std::uint64_t seed,
+                       const RunOptions& options);
+};
+
+}  // namespace caem::core

@@ -1,0 +1,26 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caem::energy {
+
+Battery::Battery(double capacity_j) : capacity_j_(capacity_j), remaining_j_(capacity_j) {
+  if (capacity_j <= 0.0) throw std::invalid_argument("Battery: capacity must be > 0");
+}
+
+double Battery::drain(double joules, double now_s) {
+  if (joules < 0.0) throw std::invalid_argument("Battery: negative drain");
+  if (depleted_) return 0.0;
+  const double drawn = std::min(joules, remaining_j_);
+  remaining_j_ -= drawn;
+  if (remaining_j_ <= 0.0) {
+    remaining_j_ = 0.0;
+    depleted_ = true;
+    death_time_s_ = now_s;
+    if (on_death_) on_death_(now_s);
+  }
+  return drawn;
+}
+
+}  // namespace caem::energy

@@ -1,0 +1,40 @@
+// battery.hpp — the finite energy source of a sensor node.
+//
+// Linear discharge (the paper's model: 10 J initial, node fails at 0).
+// An optional death callback lets the network record lifetime metrics the
+// moment a node exhausts.
+#pragma once
+
+#include <functional>
+
+namespace caem::energy {
+
+class Battery {
+ public:
+  using DeathCallback = std::function<void(double death_time_s)>;
+
+  explicit Battery(double capacity_j);
+
+  /// Draw `joules` at time `now_s`.  Draw is clamped at the remaining
+  /// charge; crossing zero marks the battery depleted (once) and fires
+  /// the death callback.  Returns the energy actually drawn.
+  double drain(double joules, double now_s);
+
+  [[nodiscard]] double capacity_j() const noexcept { return capacity_j_; }
+  [[nodiscard]] double remaining_j() const noexcept { return remaining_j_; }
+  [[nodiscard]] double consumed_j() const noexcept { return capacity_j_ - remaining_j_; }
+  [[nodiscard]] bool depleted() const noexcept { return depleted_; }
+  /// Time of depletion; negative while still alive.
+  [[nodiscard]] double death_time_s() const noexcept { return death_time_s_; }
+
+  void set_death_callback(DeathCallback callback) { on_death_ = std::move(callback); }
+
+ private:
+  double capacity_j_;
+  double remaining_j_;
+  bool depleted_ = false;
+  double death_time_s_ = -1.0;
+  DeathCallback on_death_;
+};
+
+}  // namespace caem::energy

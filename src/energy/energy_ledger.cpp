@@ -1,0 +1,62 @@
+#include "energy/energy_ledger.hpp"
+
+#include <sstream>
+
+namespace caem::energy {
+
+std::string_view to_string(RadioId id) noexcept {
+  return id == RadioId::kData ? "data" : "tone";
+}
+
+void EnergyLedger::add(RadioId radio, RadioState state, double joules) noexcept {
+  joules_[static_cast<std::size_t>(radio)][static_cast<std::size_t>(state)] += joules;
+}
+
+double EnergyLedger::total() const noexcept {
+  double sum = 0.0;
+  for (const auto& radio : joules_) {
+    for (const double j : radio) sum += j;
+  }
+  return sum;
+}
+
+double EnergyLedger::total(RadioId radio) const noexcept {
+  double sum = 0.0;
+  for (const double j : joules_[static_cast<std::size_t>(radio)]) sum += j;
+  return sum;
+}
+
+double EnergyLedger::entry(RadioId radio, RadioState state) const noexcept {
+  return joules_[static_cast<std::size_t>(radio)][static_cast<std::size_t>(state)];
+}
+
+double EnergyLedger::total_state(RadioState state) const noexcept {
+  double sum = 0.0;
+  for (const auto& radio : joules_) sum += radio[static_cast<std::size_t>(state)];
+  return sum;
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) noexcept {
+  for (std::size_t r = 0; r < kRadioCount; ++r) {
+    for (std::size_t s = 0; s < kRadioStateCount; ++s) {
+      joules_[r][s] += other.joules_[r][s];
+    }
+  }
+}
+
+void EnergyLedger::reset() noexcept { joules_ = {}; }
+
+std::string EnergyLedger::to_string() const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < kRadioCount; ++r) {
+    out << energy::to_string(static_cast<RadioId>(r)) << " radio:";
+    for (std::size_t s = 0; s < kRadioStateCount; ++s) {
+      out << " " << energy::to_string(static_cast<RadioState>(s)) << "="
+          << joules_[r][s] * 1e3 << "mJ";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace caem::energy

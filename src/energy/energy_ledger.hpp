@@ -1,0 +1,43 @@
+// energy_ledger.hpp — itemised energy accounting per radio and state.
+//
+// Every joule a node draws is attributed to (radio, state); the property
+// tests assert ledger total == battery drop, and the benchmarks use the
+// breakdown to explain *where* CAEM's savings come from.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "energy/power_state.hpp"
+
+namespace caem::energy {
+
+/// Which physical radio drew the energy (the paper's dual-radio design).
+enum class RadioId : std::size_t { kData = 0, kTone = 1 };
+inline constexpr std::size_t kRadioCount = 2;
+
+[[nodiscard]] std::string_view to_string(RadioId id) noexcept;
+
+class EnergyLedger {
+ public:
+  void add(RadioId radio, RadioState state, double joules) noexcept;
+
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] double total(RadioId radio) const noexcept;
+  [[nodiscard]] double entry(RadioId radio, RadioState state) const noexcept;
+
+  /// Aggregate over both radios for one state (e.g. all TX energy).
+  [[nodiscard]] double total_state(RadioState state) const noexcept;
+
+  void merge(const EnergyLedger& other) noexcept;
+  void reset() noexcept;
+
+  /// Multi-line human-readable breakdown (millijoule resolution).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::array<double, kRadioStateCount>, kRadioCount> joules_{};
+};
+
+}  // namespace caem::energy

@@ -1,0 +1,29 @@
+#include "energy/power_state.hpp"
+
+namespace caem::energy {
+
+std::string_view to_string(RadioState state) noexcept {
+  switch (state) {
+    case RadioState::kOff: return "off";
+    case RadioState::kSleep: return "sleep";
+    case RadioState::kStartup: return "startup";
+    case RadioState::kIdle: return "idle";
+    case RadioState::kRx: return "rx";
+    case RadioState::kTx: return "tx";
+  }
+  return "?";
+}
+
+double RadioPowerProfile::power(RadioState state) const noexcept {
+  switch (state) {
+    case RadioState::kOff: return 0.0;
+    case RadioState::kSleep: return sleep_w;
+    case RadioState::kStartup: return startup_w;
+    case RadioState::kIdle: return idle_w;
+    case RadioState::kRx: return rx_w;
+    case RadioState::kTx: return tx_w;
+  }
+  return 0.0;
+}
+
+}  // namespace caem::energy

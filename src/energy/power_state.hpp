@@ -1,0 +1,38 @@
+// power_state.hpp — the operating states of a sensor radio.
+//
+// The paper's energy argument rests on how long each radio spends in
+// each state; this enum is the shared vocabulary between the MAC state
+// machines and the energy accounting.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace caem::energy {
+
+enum class RadioState : std::size_t {
+  kOff = 0,      ///< completely powered down (no draw)
+  kSleep = 1,    ///< retention sleep (microwatts)
+  kStartup = 2,  ///< oscillator/synthesiser warm-up after sleep
+  kIdle = 3,     ///< powered, neither receiving nor transmitting
+  kRx = 4,       ///< actively receiving / carrier sensing
+  kTx = 5,       ///< actively transmitting
+};
+
+inline constexpr std::size_t kRadioStateCount = 6;
+
+[[nodiscard]] std::string_view to_string(RadioState state) noexcept;
+
+/// Power draw per state, watts.
+struct RadioPowerProfile {
+  double sleep_w = 0.0;
+  double startup_w = 0.0;
+  double idle_w = 0.0;
+  double rx_w = 0.0;
+  double tx_w = 0.0;
+  double startup_time_s = 0.0;  ///< sleep -> active transition duration
+
+  [[nodiscard]] double power(RadioState state) const noexcept;
+};
+
+}  // namespace caem::energy

@@ -1,0 +1,34 @@
+#include "energy/radio_energy_model.hpp"
+
+#include <stdexcept>
+
+namespace caem::energy {
+
+Radio::Radio(RadioId id, RadioPowerProfile profile, Battery* battery, EnergyLedger* ledger)
+    : id_(id), profile_(profile), battery_(battery), ledger_(ledger) {
+  if (battery_ == nullptr || ledger_ == nullptr) {
+    throw std::invalid_argument("Radio: null battery/ledger");
+  }
+}
+
+void Radio::settle(double now_s) {
+  if (now_s < last_transition_s_) {
+    throw std::invalid_argument("Radio: time went backwards");
+  }
+  const double dt = now_s - last_transition_s_;
+  if (dt > 0.0) {
+    const double joules = profile_.power(state_) * dt;
+    if (joules > 0.0) {
+      const double drawn = battery_->drain(joules, now_s);
+      ledger_->add(id_, state_, drawn);
+    }
+  }
+  last_transition_s_ = now_s;
+}
+
+void Radio::transition(double now_s, RadioState next) {
+  settle(now_s);
+  state_ = battery_->depleted() ? RadioState::kOff : next;
+}
+
+}  // namespace caem::energy

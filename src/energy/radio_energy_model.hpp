@@ -1,0 +1,46 @@
+// radio_energy_model.hpp — state-based energy integration for one radio.
+//
+// A Radio is a power-state machine: the MAC calls transition() at event
+// times, and the model integrates (state power x elapsed time) into the
+// node's battery and ledger.  Integration happens lazily on transition
+// (and on explicit settle() calls used by metric sampling), so the model
+// adds zero cost between events.
+#pragma once
+
+#include "energy/battery.hpp"
+#include "energy/energy_ledger.hpp"
+#include "energy/power_state.hpp"
+
+namespace caem::energy {
+
+class Radio {
+ public:
+  /// @param battery, ledger  owned by the node; must outlive the radio
+  Radio(RadioId id, RadioPowerProfile profile, Battery* battery, EnergyLedger* ledger);
+
+  /// Move to `next` at time `now_s`, charging the time spent in the
+  /// current state since the last transition.  Time must be
+  /// non-decreasing.  Transitions on a depleted battery force kOff.
+  void transition(double now_s, RadioState next);
+
+  /// Charge the elapsed time in the current state without changing it
+  /// (used before reading remaining energy for a metrics snapshot).
+  void settle(double now_s);
+
+  [[nodiscard]] RadioState state() const noexcept { return state_; }
+  [[nodiscard]] const RadioPowerProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] RadioId id() const noexcept { return id_; }
+
+  /// Duration of the sleep->active warm-up the MAC must schedule.
+  [[nodiscard]] double startup_time_s() const noexcept { return profile_.startup_time_s; }
+
+ private:
+  RadioId id_;
+  RadioPowerProfile profile_;
+  Battery* battery_;
+  EnergyLedger* ledger_;
+  RadioState state_ = RadioState::kOff;
+  double last_transition_s_ = 0.0;
+};
+
+}  // namespace caem::energy

@@ -1,0 +1,41 @@
+#include "leach/cluster.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace caem::leach {
+
+std::vector<Cluster> form_clusters(const std::vector<channel::Vec2>& positions,
+                                   const std::vector<bool>& is_head,
+                                   const std::vector<bool>& alive) {
+  const std::size_t n = positions.size();
+  if (is_head.size() != n || alive.size() != n) {
+    throw std::invalid_argument("form_clusters: size mismatch");
+  }
+  std::vector<Cluster> clusters;
+  std::vector<std::size_t> cluster_of_head(n, SIZE_MAX);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i] && is_head[i]) {
+      cluster_of_head[i] = clusters.size();
+      clusters.push_back(Cluster{static_cast<std::uint32_t>(i), {}});
+    }
+  }
+  if (clusters.empty()) throw std::invalid_argument("form_clusters: no alive cluster head");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i] || is_head[i]) continue;
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_cluster = 0;
+    for (const auto& cluster : clusters) {
+      const double d = channel::distance_m(positions[i], positions[cluster.head]);
+      if (d < best) {
+        best = d;
+        best_cluster = static_cast<std::size_t>(&cluster - clusters.data());
+      }
+    }
+    clusters[best_cluster].members.push_back(static_cast<std::uint32_t>(i));
+  }
+  return clusters;
+}
+
+}  // namespace caem::leach

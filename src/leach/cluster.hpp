@@ -1,0 +1,34 @@
+// cluster.hpp — cluster formation: members join the nearest cluster head.
+//
+// In LEACH proper, a node joins the CH whose advertisement arrives
+// strongest; with a shared path-loss law that is the nearest CH, so we
+// form clusters by Euclidean distance (shadowing-induced misassignment is
+// second-order for the energy questions studied here and is noted in
+// DESIGN.md).  Different clusters operate in different frequency bands
+// (paper Section IV), so clusters are fully independent MAC domains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/mobility.hpp"
+
+namespace caem::leach {
+
+struct Cluster {
+  std::uint32_t head = 0;
+  std::vector<std::uint32_t> members;  ///< excludes the head itself
+
+  [[nodiscard]] std::size_t size() const noexcept { return members.size() + 1; }
+};
+
+/// Partition nodes into clusters around the flagged heads.
+/// @param positions  node positions at formation time
+/// @param is_head    CH flags (size == positions.size())
+/// @param alive      liveness flags; dead nodes are skipped entirely
+/// Requires at least one alive head; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<Cluster> form_clusters(const std::vector<channel::Vec2>& positions,
+                                                 const std::vector<bool>& is_head,
+                                                 const std::vector<bool>& alive);
+
+}  // namespace caem::leach

@@ -1,0 +1,66 @@
+#include "leach/election.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace caem::leach {
+
+double election_threshold(double p, std::uint32_t round) {
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("LEACH: P must be in (0,1]");
+  const auto epoch = epoch_length(p);
+  const double phase = static_cast<double>(round % epoch);
+  const double denom = 1.0 - p * phase;
+  if (denom <= 0.0) return 1.0;  // last rounds of the epoch: remaining nodes certain
+  return std::min(1.0, p / denom);
+}
+
+std::uint32_t epoch_length(double p) {
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("LEACH: P must be in (0,1]");
+  return static_cast<std::uint32_t>(std::lround(1.0 / p));
+}
+
+Election::Election(std::size_t node_count, double p) : p_(p), served_(node_count, false) {
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("LEACH: P must be in (0,1]");
+  if (node_count == 0) throw std::invalid_argument("LEACH: empty network");
+}
+
+std::vector<bool> Election::elect(const std::vector<bool>& alive, util::Rng& rng) {
+  if (alive.size() != served_.size()) {
+    throw std::invalid_argument("Election: alive vector size mismatch");
+  }
+  const std::uint32_t epoch = epoch_length(p_);
+  if (round_ % epoch == 0) {
+    served_.assign(served_.size(), false);  // new epoch: everyone eligible again
+  }
+  const double threshold = election_threshold(p_, round_);
+
+  std::vector<bool> heads(served_.size(), false);
+  std::size_t head_count = 0;
+  std::vector<std::size_t> alive_indices;
+  for (std::size_t n = 0; n < served_.size(); ++n) {
+    if (!alive[n]) continue;
+    alive_indices.push_back(n);
+    if (served_[n]) continue;  // not in G: already CH this epoch
+    if (rng.uniform() < threshold) {
+      heads[n] = true;
+      served_[n] = true;
+      ++head_count;
+    }
+  }
+  if (head_count == 0 && !alive_indices.empty()) {
+    // Draft one node so the round is not wasted; prefer a node that has
+    // not served this epoch to preserve the rotation property.
+    std::vector<std::size_t> eligible;
+    for (const std::size_t n : alive_indices) {
+      if (!served_[n]) eligible.push_back(n);
+    }
+    const auto& pool = eligible.empty() ? alive_indices : eligible;
+    const std::size_t pick = pool[rng.uniform_int(0, pool.size() - 1)];
+    heads[pick] = true;
+    served_[pick] = true;
+  }
+  ++round_;
+  return heads;
+}
+
+}  // namespace caem::leach

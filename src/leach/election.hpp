@@ -1,0 +1,53 @@
+// election.hpp — LEACH cluster-head self-election.
+//
+// Each round r, node n draws u ~ U[0,1) and becomes cluster head iff
+// u < T(n) where
+//   T(n) = P / (1 - P * (r mod 1/P))   if n has not been CH this epoch
+//   T(n) = 0                            otherwise
+// (Heinzelman et al., HICSS 2000).  An epoch is 1/P rounds; by the end of
+// an epoch every surviving node has been CH exactly once, which is what
+// spreads the CH energy burden evenly (the property tests verify this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace caem::leach {
+
+/// The LEACH threshold T(n) for an eligible node.
+/// @param p      desired CH fraction (paper: 0.05)
+/// @param round  current round index (0-based)
+[[nodiscard]] double election_threshold(double p, std::uint32_t round);
+
+/// Number of rounds per epoch = round(1/P).
+[[nodiscard]] std::uint32_t epoch_length(double p);
+
+/// Stateful elector tracking per-node epoch eligibility.
+class Election {
+ public:
+  /// @param node_count  total nodes in the network
+  /// @param p           desired CH fraction, in (0, 1]
+  Election(std::size_t node_count, double p);
+
+  /// Run one round of self-election.  `alive[i]` gates participation.
+  /// Guarantees at least one CH among alive nodes (if any are alive) by
+  /// drafting a random alive node when self-election produces none —
+  /// otherwise the whole network would idle for a round.
+  /// Returns the CH flags; also advances the round counter.
+  std::vector<bool> elect(const std::vector<bool>& alive, util::Rng& rng);
+
+  [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+  [[nodiscard]] double p() const noexcept { return p_; }
+
+  /// Has the node already served as CH in the current epoch?
+  [[nodiscard]] bool served_this_epoch(std::size_t node) const { return served_.at(node); }
+
+ private:
+  double p_;
+  std::uint32_t round_ = 0;
+  std::vector<bool> served_;  // been CH in the current epoch
+};
+
+}  // namespace caem::leach

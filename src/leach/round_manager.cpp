@@ -1,0 +1,24 @@
+#include "leach/round_manager.hpp"
+
+#include <stdexcept>
+
+namespace caem::leach {
+
+RoundManager::RoundManager(std::size_t node_count, double p, double round_duration_s)
+    : election_(node_count, p), round_duration_s_(round_duration_s) {
+  if (round_duration_s <= 0.0) {
+    throw std::invalid_argument("RoundManager: round duration must be > 0");
+  }
+}
+
+std::vector<Cluster> RoundManager::next_round(const std::vector<channel::Vec2>& positions,
+                                              const std::vector<bool>& alive, util::Rng& rng) {
+  bool any_alive = false;
+  for (const bool a : alive) any_alive |= a;
+  if (!any_alive) throw std::invalid_argument("RoundManager: all nodes dead");
+  const std::vector<bool> heads = election_.elect(alive, rng);
+  ++rounds_;
+  return form_clusters(positions, heads, alive);
+}
+
+}  // namespace caem::leach

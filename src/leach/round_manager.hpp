@@ -1,0 +1,39 @@
+// round_manager.hpp — LEACH round sequencing (pure logic; the core
+// library wires it to the simulator clock).
+//
+// A round: elect CHs -> form clusters -> steady-state data transfer for
+// round_duration_s -> next round.  This class owns election state and
+// produces the per-round cluster layout; it deliberately knows nothing
+// about radios or queues so it is unit-testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/mobility.hpp"
+#include "leach/cluster.hpp"
+#include "leach/election.hpp"
+#include "util/rng.hpp"
+
+namespace caem::leach {
+
+class RoundManager {
+ public:
+  RoundManager(std::size_t node_count, double p, double round_duration_s);
+
+  /// Begin the next round at `positions`/`alive`; returns the clusters.
+  /// Throws if no node is alive.
+  std::vector<Cluster> next_round(const std::vector<channel::Vec2>& positions,
+                                  const std::vector<bool>& alive, util::Rng& rng);
+
+  [[nodiscard]] double round_duration_s() const noexcept { return round_duration_s_; }
+  [[nodiscard]] std::uint32_t rounds_started() const noexcept { return rounds_; }
+  [[nodiscard]] const Election& election() const noexcept { return election_; }
+
+ private:
+  Election election_;
+  double round_duration_s_;
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace caem::leach

@@ -1,0 +1,16 @@
+#include "mac/backoff.hpp"
+
+#include <algorithm>
+
+namespace caem::mac {
+
+double BackoffPolicy::delay_s(util::Rng& rng, std::uint32_t retry) const noexcept {
+  return rng.uniform() * max_delay_s(retry);
+}
+
+double BackoffPolicy::max_delay_s(std::uint32_t retry) const noexcept {
+  const std::uint32_t r = std::min(retry, max_retries);
+  return static_cast<double>(1ULL << r) * slot_s * static_cast<double>(cw);
+}
+
+}  // namespace caem::mac

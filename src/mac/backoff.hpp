@@ -1,0 +1,28 @@
+// backoff.hpp — CAEM's contention back-off.
+//
+// Paper: "it backs off for a random period of time, which equals
+// rand() x 2^r x 20 [us] x cw, where rand() generates a number evenly
+// distributed [in [0,1)], r is the number of times this packet has been
+// retransmitted (maximal value 6), and cw is the contention window size"
+// (Table II: cw = 10).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace caem::mac {
+
+struct BackoffPolicy {
+  double slot_s = 20e-6;          ///< the paper's 20 microsecond unit
+  std::uint32_t cw = 10;          ///< contention window size (Table II)
+  std::uint32_t max_retries = 6;  ///< cap on r (and on per-packet retransmissions)
+
+  /// Back-off delay for retry count `retry` (capped at max_retries).
+  [[nodiscard]] double delay_s(util::Rng& rng, std::uint32_t retry) const noexcept;
+
+  /// Upper bound of the delay at a given retry (for tests / analysis).
+  [[nodiscard]] double max_delay_s(std::uint32_t retry) const noexcept;
+};
+
+}  // namespace caem::mac

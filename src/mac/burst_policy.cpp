@@ -1,0 +1,5 @@
+#include "mac/burst_policy.hpp"
+
+// BurstPolicy is header-only; this translation unit keeps the build
+// layout uniform (one .cpp per header).
+namespace caem::mac {}

@@ -1,0 +1,111 @@
+#include "mac/cluster_head_mac.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caem::mac {
+
+ClusterHeadMac::ClusterHeadMac(sim::Simulator* sim, std::uint32_t head_id,
+                               energy::Radio* data_radio, tone::ToneBroadcaster* tone,
+                               double detect_delay_s)
+    : sim_(sim),
+      head_id_(head_id),
+      data_radio_(data_radio),
+      tone_(tone),
+      detect_delay_s_(detect_delay_s) {
+  if (sim_ == nullptr || data_radio_ == nullptr || tone_ == nullptr) {
+    throw std::invalid_argument("ClusterHeadMac: null component");
+  }
+  if (detect_delay_s < 0.0) throw std::invalid_argument("ClusterHeadMac: negative delay");
+}
+
+ClusterHeadMac::~ClusterHeadMac() {
+  if (pending_event_ != sim::kInvalidEventId) sim_->cancel(pending_event_);
+}
+
+void ClusterHeadMac::start(double now_s) {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  // Low-power listening while idle; full rx only during actual reception.
+  data_radio_->transition(now_s, energy::RadioState::kIdle);
+  tone_->start(now_s);
+}
+
+void ClusterHeadMac::stop(double now_s) {
+  if (!running_) return;
+  running_ = false;
+  ++epoch_;
+  if (pending_event_ != sim::kInvalidEventId) {
+    sim_->cancel(pending_event_);
+    pending_event_ = sim::kInvalidEventId;
+  }
+  collision_pending_ = false;
+  // Abort senders on a copy: abort_round_end() calls finish_transmission.
+  const std::vector<Transmitter*> active = active_;
+  for (Transmitter* sender : active) sender->abort_round_end(now_s);
+  active_.clear();
+  tone_->stop(now_s);
+  data_radio_->transition(now_s, energy::RadioState::kSleep);
+}
+
+void ClusterHeadMac::begin_transmission(Transmitter* sender, double now_s) {
+  if (!running_) throw std::logic_error("ClusterHeadMac: begin_transmission while stopped");
+  if (sender == nullptr) throw std::invalid_argument("ClusterHeadMac: null sender");
+  active_.push_back(sender);
+  if (active_.size() == 1) {
+    // Clean channel acquisition: detect the packet and announce receive.
+    data_radio_->transition(now_s, energy::RadioState::kRx);
+    const std::uint64_t epoch = epoch_;
+    if (pending_event_ != sim::kInvalidEventId) sim_->cancel(pending_event_);
+    pending_event_ = sim_->schedule_in(detect_delay_s_, [this, epoch](double now) {
+      if (epoch != epoch_) return;
+      pending_event_ = sim::kInvalidEventId;
+      if (channel_busy() && !collision_pending_) {
+        tone_->set_state(now, tone::ToneState::kReceive);
+      }
+    });
+    return;
+  }
+  // Overlap: every active transmission is corrupted.  Detection and the
+  // collision pulse follow after the detect delay.
+  if (!collision_pending_) {
+    collision_pending_ = true;
+    ++collisions_;
+    const std::uint64_t epoch = epoch_;
+    if (pending_event_ != sim::kInvalidEventId) sim_->cancel(pending_event_);
+    pending_event_ = sim_->schedule_in(detect_delay_s_, [this, epoch](double now) {
+      if (epoch != epoch_) return;
+      pending_event_ = sim::kInvalidEventId;
+      handle_collision(now);
+    });
+  }
+}
+
+void ClusterHeadMac::handle_collision(double now_s) {
+  collision_pending_ = false;
+  // One-shot collision pulse; the tone reverts to idle after the pulse.
+  tone_->set_state(now_s, tone::ToneState::kCollision, tone::ToneState::kIdle);
+  const std::vector<Transmitter*> colliders = active_;
+  active_.clear();
+  for (Transmitter* sender : colliders) sender->abort_collision(now_s);
+  data_radio_->transition(now_s, energy::RadioState::kIdle);
+}
+
+void ClusterHeadMac::finish_transmission(Transmitter* sender, double now_s) {
+  const auto it = std::find(active_.begin(), active_.end(), sender);
+  if (it == active_.end()) return;  // already cleared by a collision/stop
+  active_.erase(it);
+  if (active_.empty() && running_) {
+    data_radio_->transition(now_s, energy::RadioState::kIdle);
+    if (!collision_pending_) tone_->set_state(now_s, tone::ToneState::kIdle);
+  }
+}
+
+void ClusterHeadMac::deliver(const queueing::Packet& packet, phy::ModeIndex mode,
+                             std::uint32_t sender, double now_s) {
+  ++frames_received_;
+  if (on_delivery_) on_delivery_(packet, mode, sender, now_s);
+}
+
+}  // namespace caem::mac

@@ -1,0 +1,101 @@
+// cluster_head_mac.hpp — the cluster head's side of the data channel.
+//
+// The CH is the arbiter the paper's Fig 4 describes: it listens on the
+// data channel, announces its state over the tone channel (idle /
+// receive / collision), and detects collisions when two sensors transmit
+// concurrently.  On detection it emits a single collision tone pulse;
+// the transmitting sensors hear it (their tone radios stay on while
+// transmitting) and abort, which is CAEM's cheap collision *detection* —
+// in contrast to 802.11-style avoidance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "energy/radio_energy_model.hpp"
+#include "phy/abicm.hpp"
+#include "queueing/packet.hpp"
+#include "sim/simulator.hpp"
+#include "tone/tone_broadcaster.hpp"
+
+namespace caem::mac {
+
+/// What the CH needs from a transmitting sensor: an abort channel.
+class Transmitter {
+ public:
+  virtual ~Transmitter() = default;
+
+  /// The CH's collision pulse was heard: stop transmitting immediately.
+  virtual void abort_collision(double now_s) = 0;
+
+  /// The round ended (or the CH died) while transmitting: stop, keep data.
+  virtual void abort_round_end(double now_s) = 0;
+
+  [[nodiscard]] virtual std::uint32_t node_id() const = 0;
+};
+
+class ClusterHeadMac {
+ public:
+  /// Fired for every successfully received data frame.
+  using DeliveryCallback = std::function<void(const queueing::Packet& packet,
+                                              phy::ModeIndex mode, std::uint32_t sender,
+                                              double now_s)>;
+
+  /// @param detect_delay_s  time from overlap to collision detection
+  ClusterHeadMac(sim::Simulator* sim, std::uint32_t head_id, energy::Radio* data_radio,
+                 tone::ToneBroadcaster* tone, double detect_delay_s);
+  ~ClusterHeadMac();
+
+  ClusterHeadMac(const ClusterHeadMac&) = delete;
+  ClusterHeadMac& operator=(const ClusterHeadMac&) = delete;
+
+  /// Take office: start tone broadcasting and data-channel listening.
+  void start(double now_s);
+
+  /// Leave office (round end or death): abort any active transmissions
+  /// (senders keep their packets), silence the tone, sleep the radio.
+  void stop(double now_s);
+
+  /// A sensor's burst hits the air.  The CH transitions to receive (or
+  /// detects a collision if the channel was already occupied).
+  void begin_transmission(Transmitter* sender, double now_s);
+
+  /// A sensor's burst left the air cleanly.
+  void finish_transmission(Transmitter* sender, double now_s);
+
+  /// A successfully decoded frame arrives (invoked by the sensor's PHY
+  /// evaluation; reception energy is already accounted by the rx state).
+  void deliver(const queueing::Packet& packet, phy::ModeIndex mode, std::uint32_t sender,
+               double now_s);
+
+  void set_delivery_callback(DeliveryCallback callback) { on_delivery_ = std::move(callback); }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] bool channel_busy() const noexcept { return !active_.empty(); }
+  [[nodiscard]] std::uint32_t head_id() const noexcept { return head_id_; }
+
+  [[nodiscard]] std::uint64_t frames_received() const noexcept { return frames_received_; }
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+
+ private:
+  void handle_collision(double now_s);
+
+  sim::Simulator* sim_;
+  std::uint32_t head_id_;
+  energy::Radio* data_radio_;
+  tone::ToneBroadcaster* tone_;
+  double detect_delay_s_;
+  DeliveryCallback on_delivery_;
+
+  std::vector<Transmitter*> active_;
+  bool running_ = false;
+  bool collision_pending_ = false;
+  sim::EventId pending_event_ = sim::kInvalidEventId;  // tone update / collision
+  std::uint64_t epoch_ = 0;
+
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace caem::mac

@@ -1,0 +1,76 @@
+#include "metrics/collector.hpp"
+
+#include <stdexcept>
+
+namespace caem::metrics {
+
+MetricsCollector::MetricsCollector(std::size_t node_count)
+    : death_times_(node_count, -1.0), alive_(node_count) {
+  if (node_count == 0) throw std::invalid_argument("MetricsCollector: no nodes");
+}
+
+void MetricsCollector::record_generated(std::uint32_t /*node*/, double /*now_s*/) {
+  ++generated_;
+}
+
+void MetricsCollector::record_delivered(const queueing::Packet& packet, phy::ModeIndex mode,
+                                        double now_s) {
+  ++delivered_;
+  per_mode_.at(mode) += 1;
+  delivered_bits_ += packet.payload_bits;
+  delays_.add(now_s - packet.created_s);
+}
+
+void MetricsCollector::record_self_delivered(const queueing::Packet& packet, double /*now_s*/) {
+  ++self_delivered_;
+  delivered_bits_ += packet.payload_bits;
+}
+
+void MetricsCollector::record_drop(const queueing::Packet& /*packet*/,
+                                   queueing::DropReason reason, double /*now_s*/) {
+  drops_[static_cast<std::size_t>(reason)] += 1;
+}
+
+void MetricsCollector::record_collision() { ++collisions_; }
+
+void MetricsCollector::record_node_death(std::uint32_t node, double now_s) {
+  if (death_times_.at(node) >= 0.0) return;  // already recorded
+  death_times_[node] = now_s;
+  if (alive_ > 0) --alive_;
+}
+
+void MetricsCollector::snapshot_energy(double now_s, const std::vector<double>& remaining_j) {
+  if (remaining_j.empty()) return;
+  double sum = 0.0;
+  for (const double j : remaining_j) sum += j;
+  avg_energy_.add(now_s, sum / static_cast<double>(remaining_j.size()));
+}
+
+void MetricsCollector::snapshot_queues(const std::vector<double>& queue_lengths) {
+  fairness_.add_snapshot(queue_lengths);
+}
+
+std::uint64_t MetricsCollector::dropped(queueing::DropReason reason) const noexcept {
+  return drops_[static_cast<std::size_t>(reason)];
+}
+
+std::uint64_t MetricsCollector::dropped_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : drops_) total += d;
+  return total;
+}
+
+std::uint64_t MetricsCollector::delivered_at_mode(phy::ModeIndex mode) const {
+  return per_mode_.at(mode);
+}
+
+double MetricsCollector::delivery_rate() const noexcept {
+  if (generated_ == 0) return 1.0;
+  return static_cast<double>(delivered_total()) / static_cast<double>(generated_);
+}
+
+double MetricsCollector::aggregate_throughput_bps(double horizon_s) const noexcept {
+  return horizon_s <= 0.0 ? 0.0 : delivered_bits_ / horizon_s;
+}
+
+}  // namespace caem::metrics

@@ -1,0 +1,21 @@
+#include "metrics/fairness.hpp"
+
+namespace caem::metrics {
+
+void FairnessTracker::add_snapshot(const std::vector<double>& queue_lengths) {
+  if (queue_lengths.empty()) return;
+  stddevs_.add(util::population_stddev(queue_lengths));
+}
+
+double jain_index(const std::vector<double>& values) noexcept {
+  if (values.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace caem::metrics

@@ -1,0 +1,34 @@
+// fairness.hpp — short-term fairness metrics (paper Fig 12).
+//
+// The paper defines fairness as the standard deviation of per-node queue
+// lengths (Equation 3), sampled as snapshots during the run and
+// averaged: "we have taken several snapshots of the value during the
+// observed time, [and] average them".  Jain's fairness index over
+// delivered-packet counts is provided as a supplementary metric.
+#pragma once
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace caem::metrics {
+
+class FairnessTracker {
+ public:
+  /// Record one snapshot of every alive node's queue length.
+  void add_snapshot(const std::vector<double>& queue_lengths);
+
+  /// Mean over snapshots of the population std-dev of queue length.
+  [[nodiscard]] double mean_queue_stddev() const noexcept { return stddevs_.mean(); }
+  [[nodiscard]] double max_queue_stddev() const noexcept { return stddevs_.max(); }
+  [[nodiscard]] std::size_t snapshots() const noexcept { return stddevs_.count(); }
+
+ private:
+  util::OnlineStats stddevs_;
+};
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+/// Returns 1 for empty or all-zero inputs.
+[[nodiscard]] double jain_index(const std::vector<double>& values) noexcept;
+
+}  // namespace caem::metrics

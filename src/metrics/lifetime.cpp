@@ -1,0 +1,51 @@
+#include "metrics/lifetime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace caem::metrics {
+
+LifetimeReport lifetime_from_death_times(const std::vector<double>& death_times,
+                                         double dead_fraction) {
+  if (death_times.empty()) throw std::invalid_argument("lifetime: no nodes");
+  if (dead_fraction <= 0.0 || dead_fraction > 1.0) {
+    throw std::invalid_argument("lifetime: dead fraction must be in (0,1]");
+  }
+  std::vector<double> deaths;
+  for (const double t : death_times) {
+    if (t >= 0.0) deaths.push_back(t);
+  }
+  std::sort(deaths.begin(), deaths.end());
+
+  LifetimeReport report;
+  report.deaths = deaths.size();
+  if (deaths.empty()) return report;
+  report.first_death_s = deaths.front();
+  if (deaths.size() == death_times.size()) report.last_death_s = deaths.back();
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(dead_fraction * static_cast<double>(death_times.size())));
+  if (deaths.size() >= needed && needed >= 1) {
+    report.network_death_s = deaths[needed - 1];
+  }
+  return report;
+}
+
+util::TimeSeries alive_series(const std::vector<double>& death_times, double end_s) {
+  std::vector<double> deaths;
+  for (const double t : death_times) {
+    if (t >= 0.0 && t <= end_s) deaths.push_back(t);
+  }
+  std::sort(deaths.begin(), deaths.end());
+  util::TimeSeries series;
+  auto alive = static_cast<double>(death_times.size());
+  series.add(0.0, alive);
+  for (const double t : deaths) {
+    alive -= 1.0;
+    series.add(t, alive);
+  }
+  series.add(end_s, alive);
+  return series;
+}
+
+}  // namespace caem::metrics

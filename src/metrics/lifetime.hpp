@@ -1,0 +1,32 @@
+// lifetime.hpp — network lifetime definitions (paper Fig 9 / Fig 10).
+//
+// "We call a network 'dead' if the percentage of nodes exhausted exceeds
+// [a threshold]" — the percentage is garbled in the available scan; we
+// default to 20 % (see DESIGN.md).  First-node-death and last-node-death
+// are also reported since the LEACH literature uses all three.
+#pragma once
+
+#include <vector>
+
+#include "util/time_series.hpp"
+
+namespace caem::metrics {
+
+struct LifetimeReport {
+  double first_death_s = -1.0;    ///< first node exhausted (-1: none)
+  double network_death_s = -1.0;  ///< dead-fraction threshold crossed (-1: not reached)
+  double last_death_s = -1.0;     ///< all nodes exhausted (-1: not reached)
+  std::size_t deaths = 0;
+};
+
+/// Compute the report from per-node death times (negative = survived).
+/// @param dead_fraction  fraction of nodes whose death marks network death
+LifetimeReport lifetime_from_death_times(const std::vector<double>& death_times,
+                                         double dead_fraction);
+
+/// Nodes-alive-vs-time series (step function) from death times, starting
+/// at t = 0 with all nodes alive and ending at `end_s`.
+[[nodiscard]] util::TimeSeries alive_series(const std::vector<double>& death_times,
+                                            double end_s);
+
+}  // namespace caem::metrics

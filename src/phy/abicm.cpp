@@ -1,0 +1,51 @@
+#include "phy/abicm.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace caem::phy {
+
+AbicmTable::AbicmTable()
+    : AbicmTable(std::array<AbicmMode, kModeCount>{
+          AbicmMode{0, "BPSK-1/2 (250 kbps)", Modulation::kBpsk, code_rate_half(),
+                    util::kbps(250), 6.0},
+          AbicmMode{1, "QPSK-1/2 (450 kbps)", Modulation::kQpsk, code_rate_half(),
+                    util::kbps(450), 10.0},
+          AbicmMode{2, "16QAM-1/2 (1 Mbps)", Modulation::kQam16, code_rate_half(),
+                    util::mbps(1), 14.0},
+          AbicmMode{3, "16QAM-3/4 (2 Mbps)", Modulation::kQam16, code_rate_three_quarters(),
+                    util::mbps(2), 18.0},
+      }) {}
+
+AbicmTable::AbicmTable(std::array<AbicmMode, kModeCount> modes) : modes_(modes) {
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    modes_[i].index = i;
+    if (modes_[i].data_rate_bps <= 0.0) {
+      throw std::invalid_argument("AbicmTable: non-positive data rate");
+    }
+    if (i > 0) {
+      if (modes_[i].min_snr_db <= modes_[i - 1].min_snr_db) {
+        throw std::invalid_argument("AbicmTable: thresholds must be strictly increasing");
+      }
+      if (modes_[i].data_rate_bps <= modes_[i - 1].data_rate_bps) {
+        throw std::invalid_argument("AbicmTable: rates must be strictly increasing");
+      }
+    }
+  }
+}
+
+std::optional<ModeIndex> AbicmTable::mode_for_snr(double snr_db) const noexcept {
+  std::optional<ModeIndex> best;
+  for (const auto& mode : modes_) {
+    if (snr_db >= mode.min_snr_db) best = mode.index;
+  }
+  return best;
+}
+
+double AbicmTable::air_time_s(ModeIndex i, double information_bits) const {
+  if (information_bits < 0.0) throw std::invalid_argument("AbicmTable: negative bits");
+  return information_bits / modes_.at(i).data_rate_bps;
+}
+
+}  // namespace caem::phy

@@ -1,0 +1,18 @@
+#include "phy/coding.hpp"
+
+namespace caem::phy {
+
+CodeSpec code_rate_half() noexcept { return {0.5, 4.5, "conv-1/2"}; }
+CodeSpec code_rate_two_thirds() noexcept { return {2.0 / 3.0, 3.5, "conv-2/3"}; }
+CodeSpec code_rate_three_quarters() noexcept { return {0.75, 2.5, "conv-3/4"}; }
+CodeSpec uncoded() noexcept { return {1.0, 0.0, "uncoded"}; }
+
+double effective_snr_db(double raw_snr_db, const CodeSpec& code) noexcept {
+  return raw_snr_db + code.coding_gain_db;
+}
+
+double coded_bits(double information_bits, const CodeSpec& code) noexcept {
+  return information_bits / code.rate;
+}
+
+}  // namespace caem::phy

@@ -1,0 +1,35 @@
+// coding.hpp — forward error correction as an effective-SNR model.
+//
+// The paper varies "the amount of incorporated error protection" with
+// channel quality.  We model a convolutional code by (a) its rate, which
+// stretches air time (already folded into the ABICM mode data rates), and
+// (b) a coding gain in dB applied to the SNR before the uncoded BER curve
+// is evaluated.  This effective-SNR abstraction is standard when symbol-
+// level simulation is out of scope; gains are typical K=7 soft-decision
+// Viterbi figures at the BER range of interest.
+#pragma once
+
+#include <string_view>
+
+namespace caem::phy {
+
+/// A convolutional code configuration.
+struct CodeSpec {
+  double rate = 1.0;            ///< information bits per coded bit (<= 1)
+  double coding_gain_db = 0.0;  ///< effective SNR improvement
+  std::string_view name = "uncoded";
+};
+
+/// Library of the code rates the ABICM modes use.
+[[nodiscard]] CodeSpec code_rate_half() noexcept;      // ~4.5 dB gain
+[[nodiscard]] CodeSpec code_rate_two_thirds() noexcept;  // ~3.5 dB gain
+[[nodiscard]] CodeSpec code_rate_three_quarters() noexcept;  // ~2.5 dB gain
+[[nodiscard]] CodeSpec uncoded() noexcept;
+
+/// SNR after applying the coding gain (both in dB).
+[[nodiscard]] double effective_snr_db(double raw_snr_db, const CodeSpec& code) noexcept;
+
+/// Coded bits on air for a payload of `information_bits`.
+[[nodiscard]] double coded_bits(double information_bits, const CodeSpec& code) noexcept;
+
+}  // namespace caem::phy

@@ -1,0 +1,29 @@
+#include "phy/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace caem::phy {
+
+PacketErrorModel::PacketErrorModel(const AbicmTable* table) : table_(table) {
+  if (table_ == nullptr) throw std::invalid_argument("PacketErrorModel: null mode table");
+}
+
+double PacketErrorModel::bit_error_rate(ModeIndex i, double snr_db) const {
+  const AbicmMode& mode = table_->mode(i);
+  const double eff_db = effective_snr_db(snr_db, mode.code);
+  return bit_error_rate_db(mode.modulation, eff_db);
+}
+
+double PacketErrorModel::packet_error_rate(ModeIndex i, double snr_db,
+                                           double payload_bits) const {
+  if (payload_bits < 0.0) throw std::invalid_argument("PacketErrorModel: negative bits");
+  const double ber = bit_error_rate(i, snr_db);
+  if (ber <= 0.0) return 0.0;
+  // log1p formulation keeps precision when ber is tiny.
+  const double log_success = payload_bits * std::log1p(-std::min(ber, 1.0 - 1e-15));
+  return std::clamp(1.0 - std::exp(log_success), 0.0, 1.0);
+}
+
+}  // namespace caem::phy

@@ -1,0 +1,27 @@
+// error_model.hpp — packet error probability under a quasi-static channel.
+//
+// PER(mode, snr, L) = 1 - (1 - BER_eff)^L where BER_eff is the mode's
+// modulation BER evaluated at the coding-gain-adjusted SNR.  The paper's
+// quasi-static assumption (gain constant over a packet) makes this exact
+// for the simulated channel.
+#pragma once
+
+#include "phy/abicm.hpp"
+
+namespace caem::phy {
+
+class PacketErrorModel {
+ public:
+  explicit PacketErrorModel(const AbicmTable* table);
+
+  /// Residual bit error rate of mode `i` at instantaneous SNR `snr_db`.
+  [[nodiscard]] double bit_error_rate(ModeIndex i, double snr_db) const;
+
+  /// Packet error rate for `payload_bits` information bits.
+  [[nodiscard]] double packet_error_rate(ModeIndex i, double snr_db, double payload_bits) const;
+
+ private:
+  const AbicmTable* table_;
+};
+
+}  // namespace caem::phy

@@ -1,0 +1,28 @@
+#include "phy/frame.hpp"
+
+#include <stdexcept>
+
+namespace caem::phy {
+
+FrameTiming::FrameTiming(FrameFormat format, const AbicmTable* table)
+    : format_(format), table_(table) {
+  if (table_ == nullptr) throw std::invalid_argument("FrameTiming: null mode table");
+  if (format_.payload_bits <= 0.0) throw std::invalid_argument("FrameTiming: empty payload");
+  if (format_.header_bits < 0.0 || format_.preamble_s < 0.0) {
+    throw std::invalid_argument("FrameTiming: negative overhead");
+  }
+}
+
+double FrameTiming::frame_air_time_s(ModeIndex i) const {
+  const double header_s = table_->air_time_s(0, format_.header_bits);
+  return format_.preamble_s + header_s + table_->air_time_s(i, format_.payload_bits);
+}
+
+double FrameTiming::burst_air_time_s(ModeIndex i, std::size_t frames) const {
+  if (frames == 0) return 0.0;
+  const double header_s = table_->air_time_s(0, format_.header_bits);
+  return format_.preamble_s +
+         static_cast<double>(frames) * (header_s + table_->air_time_s(i, format_.payload_bits));
+}
+
+}  // namespace caem::phy

@@ -1,0 +1,39 @@
+// frame.hpp — physical frame layout and air-time accounting.
+//
+// A data frame carries one 2 kbit application packet (Table II) plus a
+// fixed PHY/MAC header.  The header is always sent in the most robust
+// mode (standard practice: the receiver must decode it before knowing the
+// payload mode), so its air time is mode-independent.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/abicm.hpp"
+
+namespace caem::phy {
+
+struct FrameFormat {
+  double payload_bits = 2048.0;  ///< application packet (2 kbit, Table II)
+  double header_bits = 64.0;     ///< PHY + MAC header, sent at base mode
+  double preamble_s = 64e-6;     ///< synchronisation preamble duration
+};
+
+class FrameTiming {
+ public:
+  FrameTiming(FrameFormat format, const AbicmTable* table);
+
+  /// Total air time for one frame whose payload uses mode `i`.
+  [[nodiscard]] double frame_air_time_s(ModeIndex i) const;
+
+  /// Air time of a burst of `frames` back-to-back frames at mode `i`
+  /// with a single preamble (the burst is one PHY transmission).
+  [[nodiscard]] double burst_air_time_s(ModeIndex i, std::size_t frames) const;
+
+  [[nodiscard]] const FrameFormat& format() const noexcept { return format_; }
+
+ private:
+  FrameFormat format_;
+  const AbicmTable* table_;
+};
+
+}  // namespace caem::phy

@@ -1,0 +1,61 @@
+#include "phy/modulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace caem::phy {
+
+std::string_view to_string(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+std::size_t bits_per_symbol(Modulation m) noexcept {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 1;
+}
+
+double q_function(double x) noexcept { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double bit_error_rate(Modulation m, double ebn0_linear) noexcept {
+  if (ebn0_linear <= 0.0) return 0.5;
+  double ber = 0.5;
+  switch (m) {
+    case Modulation::kBpsk:
+    case Modulation::kQpsk:
+      // QPSK has the same per-bit error rate as BPSK (orthogonal rails).
+      ber = q_function(std::sqrt(2.0 * ebn0_linear));
+      break;
+    case Modulation::kQam16: {
+      constexpr double kBits = 4.0, kM = 16.0;
+      ber = (4.0 / kBits) * (1.0 - 1.0 / std::sqrt(kM)) *
+            q_function(std::sqrt(3.0 * kBits / (kM - 1.0) * ebn0_linear));
+      break;
+    }
+    case Modulation::kQam64: {
+      constexpr double kBits = 6.0, kM = 64.0;
+      ber = (4.0 / kBits) * (1.0 - 1.0 / std::sqrt(kM)) *
+            q_function(std::sqrt(3.0 * kBits / (kM - 1.0) * ebn0_linear));
+      break;
+    }
+  }
+  return std::clamp(ber, 0.0, 0.5);
+}
+
+double bit_error_rate_db(Modulation m, double ebn0_db) noexcept {
+  return bit_error_rate(m, util::db_to_linear(ebn0_db));
+}
+
+}  // namespace caem::phy

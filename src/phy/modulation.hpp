@@ -1,0 +1,35 @@
+// modulation.hpp — modulation schemes and their BER curves.
+//
+// The ABICM modes combine a modulation with a convolutional code.  We use
+// the textbook AWGN BER approximations (coherent detection, Gray
+// mapping); microscopic fading enters through the *instantaneous* SNR at
+// which these curves are evaluated, which is exactly the quasi-static
+// assumption the paper makes ("channel gain remains stationary for the
+// duration of a packet transmission").
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace caem::phy {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+[[nodiscard]] std::string_view to_string(Modulation m) noexcept;
+
+/// Bits carried per symbol (1 / 2 / 4 / 6).
+[[nodiscard]] std::size_t bits_per_symbol(Modulation m) noexcept;
+
+/// Gaussian tail function Q(x) = 0.5 erfc(x / sqrt(2)).
+[[nodiscard]] double q_function(double x) noexcept;
+
+/// Bit error rate at a given per-bit SNR (Eb/N0, linear, >= 0):
+///   BPSK/QPSK : Q( sqrt(2 Eb/N0) )
+///   M-QAM     : (4/k)(1 - 1/sqrt(M)) Q( sqrt(3 k/(M-1) Eb/N0) ), k = log2 M
+/// Result clamped to [0, 0.5].
+[[nodiscard]] double bit_error_rate(Modulation m, double ebn0_linear) noexcept;
+
+/// Convenience: BER at Eb/N0 given in dB.
+[[nodiscard]] double bit_error_rate_db(Modulation m, double ebn0_db) noexcept;
+
+}  // namespace caem::phy

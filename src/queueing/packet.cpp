@@ -1,0 +1,6 @@
+#include "queueing/packet.hpp"
+
+// Packet is a plain aggregate; this translation unit exists so the module
+// has a home for future non-inline helpers and keeps the build layout
+// uniform (one .cpp per header).
+namespace caem::queueing {}

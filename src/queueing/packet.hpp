@@ -1,0 +1,24 @@
+// packet.hpp — the unit of sensed data moving through the system.
+#pragma once
+
+#include <cstdint>
+
+namespace caem::queueing {
+
+/// Why a packet left the system without being delivered.
+enum class DropReason {
+  kBufferOverflow,   ///< arrival found the buffer full
+  kRetryExhausted,   ///< max retransmissions (6) exceeded
+  kNodeDeath,        ///< the source node's battery depleted
+  kEndOfRun,         ///< still queued when the simulation ended
+};
+
+struct Packet {
+  std::uint64_t id = 0;        ///< globally unique, assigned at generation
+  std::uint32_t source = 0;    ///< generating node
+  double created_s = 0.0;      ///< generation timestamp
+  double payload_bits = 2048;  ///< application payload (Table II: 2 kbit)
+  std::uint32_t retries = 0;   ///< transmission attempts that failed so far
+};
+
+}  // namespace caem::queueing

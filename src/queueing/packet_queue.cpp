@@ -1,0 +1,30 @@
+#include "queueing/packet_queue.hpp"
+
+namespace caem::queueing {
+
+PacketQueue::PacketQueue(std::size_t capacity) : buffer_(capacity) {}
+
+bool PacketQueue::push(const Packet& packet, double now_s) {
+  ++arrivals_;
+  if (!buffer_.try_push(packet)) {
+    ++overflow_drops_;
+    if (on_overflow_) on_overflow_(packet, now_s);
+    return false;
+  }
+  return true;
+}
+
+Packet PacketQueue::pop() { return buffer_.pop(); }
+
+bool PacketQueue::requeue_front(const Packet& packet) {
+  return buffer_.try_push_front(packet);
+}
+
+void PacketQueue::drain(const std::function<void(const Packet&)>& sink) {
+  while (!buffer_.empty()) {
+    const Packet packet = buffer_.pop();
+    if (sink) sink(packet);
+  }
+}
+
+}  // namespace caem::queueing

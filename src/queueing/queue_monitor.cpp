@@ -1,0 +1,30 @@
+#include "queueing/queue_monitor.hpp"
+
+#include <stdexcept>
+
+namespace caem::queueing {
+
+QueueMonitor::QueueMonitor(std::uint32_t sample_every_m) : sample_every_m_(sample_every_m) {
+  if (sample_every_m == 0) throw std::invalid_argument("QueueMonitor: m must be >= 1");
+}
+
+std::optional<double> QueueMonitor::on_arrival(std::size_t queue_length) {
+  if (++arrivals_since_sample_ < sample_every_m_) return std::nullopt;
+  arrivals_since_sample_ = 0;
+  const double sample = static_cast<double>(queue_length);
+  ++samples_;
+  if (last_sample_.has_value()) {
+    variation_ = sample - *last_sample_;
+  }
+  last_sample_ = sample;
+  return variation_;
+}
+
+void QueueMonitor::reset() noexcept {
+  arrivals_since_sample_ = 0;
+  last_sample_.reset();
+  variation_.reset();
+  samples_ = 0;
+}
+
+}  // namespace caem::queueing

@@ -1,0 +1,41 @@
+// queue_monitor.hpp — the paper's traffic-load predictor.
+//
+// "The sampling interval should be fixed at [one sample] for every m
+// incoming packets (in our simulation m = 5). ... the variation of the
+// queue length is defined as  dV = V_k - V_{k-1}",
+// computed over the sampled queue lengths.  dV >= 0 means the queue is
+// building (traffic load rising); dV < 0 means it is draining.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace caem::queueing {
+
+class QueueMonitor {
+ public:
+  /// @param sample_every_m  packets between samples (paper: m = 5)
+  explicit QueueMonitor(std::uint32_t sample_every_m);
+
+  /// Report one packet arrival with the queue length *after* the push.
+  /// Every m-th arrival takes a sample; once two samples exist the
+  /// returned optional carries dV for this sampling epoch.
+  std::optional<double> on_arrival(std::size_t queue_length);
+
+  /// Latest computed variation (nullopt until two samples exist).
+  [[nodiscard]] std::optional<double> variation() const noexcept { return variation_; }
+
+  [[nodiscard]] std::uint32_t sample_every() const noexcept { return sample_every_m_; }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept { return samples_; }
+
+  void reset() noexcept;
+
+ private:
+  std::uint32_t sample_every_m_;
+  std::uint32_t arrivals_since_sample_ = 0;
+  std::optional<double> last_sample_;
+  std::optional<double> variation_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace caem::queueing

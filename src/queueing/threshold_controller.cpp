@@ -1,0 +1,60 @@
+#include "queueing/threshold_controller.hpp"
+
+#include <stdexcept>
+
+namespace caem::queueing {
+
+const char* to_string(ThresholdPolicy policy) noexcept {
+  switch (policy) {
+    case ThresholdPolicy::kNone: return "none";
+    case ThresholdPolicy::kFixedHighest: return "fixed-highest";
+    case ThresholdPolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+ThresholdController::ThresholdController(ThresholdPolicy policy, const phy::AbicmTable* table,
+                                         std::uint32_t sample_m, std::size_t arm_length)
+    : policy_(policy),
+      table_(table),
+      monitor_(sample_m),
+      arm_length_(arm_length),
+      threshold_(table != nullptr ? table->highest() : 0) {
+  if (table_ == nullptr) throw std::invalid_argument("ThresholdController: null mode table");
+}
+
+void ThresholdController::on_arrival(std::size_t queue_length) {
+  if (policy_ != ThresholdPolicy::kAdaptive) return;
+  const auto variation = monitor_.on_arrival(queue_length);
+  // Fig 6: below Q_threshold the arrival is a no-op ("null") — the
+  // threshold keeps whatever class the last congestion episode left it.
+  if (queue_length < arm_length_) return;
+  if (!variation.has_value()) return;  // adjustment happens on sampling epochs
+  if (*variation >= 0.0) {
+    if (threshold_ > 0) {
+      --threshold_;
+      ++lower_events_;
+    }
+  } else {
+    if (threshold_ != table_->highest()) {
+      threshold_ = table_->highest();
+      ++raise_events_;
+    }
+  }
+}
+
+bool ThresholdController::permits(double csi_db) const noexcept {
+  if (policy_ == ThresholdPolicy::kNone) return true;
+  return csi_db >= table_->threshold_snr_db(threshold_);
+}
+
+double ThresholdController::threshold_snr_db() const {
+  return table_->threshold_snr_db(threshold_);
+}
+
+void ThresholdController::reset() noexcept {
+  threshold_ = table_->highest();
+  monitor_.reset();
+}
+
+}  // namespace caem::queueing

@@ -1,0 +1,69 @@
+// threshold_controller.hpp — the paper's adaptive threshold adjustment
+// (Fig 6 pseudo-code), plus the fixed variant (Scheme 2) and a disabled
+// variant (pure LEACH, which does not gate access on CSI at all).
+//
+// The controller owns the sensor's current *transmission threshold
+// class*: one of the four ABICM modes.  CAEM only contends for the
+// channel when the measured CSI supports at least the threshold class.
+//
+// Fig 6, per packet arrival (once the queue length has armed the
+// mechanism by exceeding Q_threshold = 15):
+//   every m = 5 arrivals compute dV;
+//   dV >= 0  -> lower the threshold one class (more chances to send);
+//   dV <  0  -> raise the threshold to the highest class (save energy).
+#pragma once
+
+#include <cstdint>
+
+#include "phy/abicm.hpp"
+#include "queueing/queue_monitor.hpp"
+
+namespace caem::queueing {
+
+enum class ThresholdPolicy {
+  kNone,          ///< pure LEACH: no CSI gating
+  kFixedHighest,  ///< Scheme 2: threshold pinned at 2 Mbps
+  kAdaptive,      ///< Scheme 1: Fig 6 adjustment
+};
+
+[[nodiscard]] const char* to_string(ThresholdPolicy policy) noexcept;
+
+class ThresholdController {
+ public:
+  /// @param table        the run's ABICM mode table (outlives controller)
+  /// @param sample_m     queue sampling interval (paper: 5)
+  /// @param arm_length   queue length that arms adjustment (paper: 15)
+  ThresholdController(ThresholdPolicy policy, const phy::AbicmTable* table,
+                      std::uint32_t sample_m, std::size_t arm_length);
+
+  /// Feed one packet arrival (queue length measured after the push).
+  void on_arrival(std::size_t queue_length);
+
+  /// Does the measured CSI permit contending for the channel?
+  /// Policy kNone always says yes (pure LEACH ignores the channel).
+  [[nodiscard]] bool permits(double csi_db) const noexcept;
+
+  /// Current threshold class (meaningless under kNone but kept valid).
+  [[nodiscard]] phy::ModeIndex threshold_class() const noexcept { return threshold_; }
+  [[nodiscard]] double threshold_snr_db() const;
+  [[nodiscard]] ThresholdPolicy policy() const noexcept { return policy_; }
+
+  /// Counters for the ablation benches.
+  [[nodiscard]] std::uint64_t lower_events() const noexcept { return lower_events_; }
+  [[nodiscard]] std::uint64_t raise_events() const noexcept { return raise_events_; }
+
+  /// Reset to the initial (highest) threshold, e.g. at a LEACH round
+  /// boundary when the CH — and hence the whole link — changes.
+  void reset() noexcept;
+
+ private:
+  ThresholdPolicy policy_;
+  const phy::AbicmTable* table_;
+  QueueMonitor monitor_;
+  std::size_t arm_length_;
+  phy::ModeIndex threshold_;
+  std::uint64_t lower_events_ = 0;
+  std::uint64_t raise_events_ = 0;
+};
+
+}  // namespace caem::queueing

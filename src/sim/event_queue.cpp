@@ -1,0 +1,100 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace caem::sim {
+
+EventId EventQueue::schedule(double time_s, EventCallback callback) {
+  if (std::isnan(time_s)) throw std::invalid_argument("EventQueue: NaN event time");
+  if (!callback) throw std::invalid_argument("EventQueue: null callback");
+  const std::uint64_t id = next_sequence_++;
+  heap_.push_back(Entry{time_s, id, std::move(callback), false});
+  sift_up(heap_.size() - 1);
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) noexcept {
+  if (id == kInvalidEventId || id >= next_sequence_) return false;
+  // Find the entry; linear scan is acceptable because cancellation is
+  // rare relative to scheduling (only MAC timers get cancelled) and the
+  // heap stays small (hundreds of entries for 100 nodes).
+  for (auto& entry : heap_) {
+    if (entry.sequence == id) {
+      if (entry.cancelled) return false;
+      entry.cancelled = true;
+      entry.callback = nullptr;  // release captured state eagerly
+      --live_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+double EventQueue::next_time() const {
+  // Skip tombstones without mutating (const): walk a copy of the heap
+  // indices.  In practice the top is almost never a tombstone because
+  // pop() prunes; handle it by scanning for the minimum live entry.
+  if (live_count_ == 0) throw std::out_of_range("EventQueue: next_time() on empty queue");
+  if (!heap_.empty() && !heap_.front().cancelled) return heap_.front().time_s;
+  const Entry* best = nullptr;
+  for (const auto& entry : heap_) {
+    if (entry.cancelled) continue;
+    if (best == nullptr || later(*best, entry)) best = &entry;
+  }
+  return best->time_s;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_top();
+  if (heap_.empty()) throw std::out_of_range("EventQueue: pop() on empty queue");
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  --live_count_;
+  drop_dead_top();
+  return Fired{top.sequence, top.time_s, std::move(top.callback)};
+}
+
+void EventQueue::clear() noexcept {
+  heap_.clear();
+  cancelled_ids_.clear();
+  live_count_ = 0;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && heap_.front().cancelled) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+void EventQueue::sift_up(std::size_t index) noexcept {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!later(heap_[parent], heap_[index])) break;
+    std::swap(heap_[parent], heap_[index]);
+    index = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t index) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * index + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = index;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == index) return;
+    std::swap(heap_[index], heap_[smallest]);
+    index = smallest;
+  }
+}
+
+}  // namespace caem::sim

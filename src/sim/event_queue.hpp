@@ -1,0 +1,82 @@
+// event_queue.hpp — pending-event set for the discrete-event kernel.
+//
+// A binary min-heap ordered by (time, sequence) so simultaneous events
+// fire in scheduling (FIFO) order, which keeps runs deterministic.
+// Cancellation is lazy: cancelled entries are tombstoned and skipped on
+// pop, the standard technique when handles must stay O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace caem::sim {
+
+/// Opaque handle to a scheduled event; value 0 is reserved as "invalid".
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Callback executed when an event fires.  Receives the firing time.
+using EventCallback = std::function<void(double now_s)>;
+
+class EventQueue {
+ public:
+  /// Schedule `callback` at absolute time `time_s`.  Returns a handle
+  /// usable with cancel().  Throws std::invalid_argument for NaN times.
+  EventId schedule(double time_s, EventCallback callback);
+
+  /// Cancel a pending event.  Returns true if the event was pending;
+  /// false if it already fired, was already cancelled, or is invalid.
+  bool cancel(EventId id) noexcept;
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+
+  /// Time of the earliest live event; throws std::out_of_range when empty.
+  [[nodiscard]] double next_time() const;
+
+  /// Remove and return the earliest live event.
+  /// Throws std::out_of_range when empty.
+  struct Fired {
+    EventId id;
+    double time_s;
+    EventCallback callback;
+  };
+  Fired pop();
+
+  /// Drop every pending event.
+  void clear() noexcept;
+
+  /// Total events ever scheduled (diagnostics / micro-benchmarks).
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept { return next_sequence_ - 1; }
+
+ private:
+  struct Entry {
+    double time_s;
+    std::uint64_t sequence;  // doubles as the EventId
+    EventCallback callback;
+    bool cancelled = false;
+  };
+
+  // Heap predicate: earliest time first; FIFO for ties.
+  [[nodiscard]] static bool later(const Entry& a, const Entry& b) noexcept {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    return a.sequence > b.sequence;
+  }
+
+  void sift_up(std::size_t index) noexcept;
+  void sift_down(std::size_t index) noexcept;
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  // Cancelled-id lookup: ids are dense and monotone, so a sorted vector
+  // of cancelled-but-not-yet-popped ids stays tiny.
+  std::vector<std::uint64_t> cancelled_ids_;
+  std::uint64_t next_sequence_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace caem::sim

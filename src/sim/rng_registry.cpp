@@ -1,0 +1,17 @@
+#include "sim/rng_registry.hpp"
+
+namespace caem::sim {
+
+util::Rng& RngRegistry::stream(const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    it = streams_.emplace(name, util::Rng(master_seed_, name)).first;
+  }
+  return it->second;
+}
+
+util::Rng RngRegistry::make_stream(const std::string& name) const noexcept {
+  return util::Rng(master_seed_, name);
+}
+
+}  // namespace caem::sim

@@ -1,0 +1,105 @@
+#include "tone/tone_broadcaster.hpp"
+
+#include <stdexcept>
+
+namespace caem::tone {
+
+ToneBroadcaster::ToneBroadcaster(sim::Simulator* sim, energy::Radio* tone_radio)
+    : sim_(sim), radio_(tone_radio) {
+  if (sim_ == nullptr || radio_ == nullptr) {
+    throw std::invalid_argument("ToneBroadcaster: null simulator/radio");
+  }
+}
+
+ToneBroadcaster::~ToneBroadcaster() {
+  if (pending_event_ != sim::kInvalidEventId) sim_->cancel(pending_event_);
+}
+
+void ToneBroadcaster::start(double now_s) {
+  if (running_) return;
+  running_ = true;
+  ++epoch_;
+  state_ = ToneState::kIdle;
+  previous_state_ = ToneState::kIdle;
+  state_since_s_ = now_s;
+  in_pulse_ = false;
+  radio_->transition(now_s, energy::RadioState::kIdle);
+  // First idle pulse after the radio settles.
+  schedule_pulse(now_s + radio_->startup_time_s());
+}
+
+void ToneBroadcaster::stop(double now_s) {
+  if (!running_) return;
+  running_ = false;
+  ++epoch_;
+  if (pending_event_ != sim::kInvalidEventId) {
+    sim_->cancel(pending_event_);
+    pending_event_ = sim::kInvalidEventId;
+  }
+  in_pulse_ = false;
+  radio_->transition(now_s, energy::RadioState::kSleep);
+}
+
+void ToneBroadcaster::set_state(double now_s, ToneState state, ToneState revert_to) {
+  if (!running_) return;
+  if (state == state_) return;
+  previous_state_ = state_;
+  state_ = state;
+  revert_to_ = revert_to;
+  state_since_s_ = now_s;
+  // Restart the pulse schedule for the new state immediately: a state
+  // change is announced with a leading pulse.
+  if (pending_event_ != sim::kInvalidEventId) {
+    sim_->cancel(pending_event_);
+    pending_event_ = sim::kInvalidEventId;
+  }
+  if (in_pulse_) {
+    // Cut the current pulse short; the new leading pulse follows at once.
+    radio_->transition(now_s, energy::RadioState::kIdle);
+    in_pulse_ = false;
+  }
+  begin_pulse(now_s);
+}
+
+void ToneBroadcaster::schedule_pulse(double at_s) {
+  const std::uint64_t epoch = epoch_;
+  pending_event_ = sim_->schedule_at(at_s, [this, epoch](double now) {
+    if (epoch != epoch_) return;
+    pending_event_ = sim::kInvalidEventId;
+    begin_pulse(now);
+  });
+}
+
+void ToneBroadcaster::begin_pulse(double now_s) {
+  if (!running_) return;
+  const PulsePattern pattern = pattern_for(state_);
+  in_pulse_ = true;
+  ++pulses_emitted_;
+  radio_->transition(now_s, energy::RadioState::kTx);
+  const std::uint64_t epoch = epoch_;
+  pending_event_ = sim_->schedule_at(now_s + pattern.pulse_duration_s,
+                                     [this, epoch](double now) {
+                                       if (epoch != epoch_) return;
+                                       pending_event_ = sim::kInvalidEventId;
+                                       end_pulse(now);
+                                     });
+}
+
+void ToneBroadcaster::end_pulse(double now_s) {
+  if (!running_) return;
+  in_pulse_ = false;
+  radio_->transition(now_s, energy::RadioState::kIdle);
+  const PulsePattern pattern = pattern_for(state_);
+  if (pattern.repeating) {
+    const double next_start = now_s - pattern.pulse_duration_s + pattern.period_s;
+    schedule_pulse(std::max(next_start, now_s));
+  } else {
+    // One-shot (collision): fall back to the configured revert state.
+    previous_state_ = state_;
+    state_ = revert_to_;
+    state_since_s_ = now_s;
+    begin_pulse(now_s);
+  }
+}
+
+}  // namespace caem::tone

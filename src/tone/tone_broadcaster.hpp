@@ -1,0 +1,70 @@
+// tone_broadcaster.hpp — cluster-head side of the tone channel.
+//
+// Simulates the actual pulse train: each pulse is a pair of events that
+// flip the CH's tone radio between tx and idle, so the tone energy cost
+// is integrated honestly rather than estimated from duty cycles.  State
+// changes restart the pulse schedule per the paper's rules (idle pulses
+// every 50 ms while free, receive pulses every 10 ms while a packet
+// arrives, a single collision pulse on corruption).
+#pragma once
+
+#include "energy/radio_energy_model.hpp"
+#include "sim/simulator.hpp"
+#include "tone/tone_signal.hpp"
+
+namespace caem::tone {
+
+class ToneBroadcaster {
+ public:
+  /// @param sim, tone_radio  owned by the caller; must outlive this object
+  ToneBroadcaster(sim::Simulator* sim, energy::Radio* tone_radio);
+  ~ToneBroadcaster();
+
+  ToneBroadcaster(const ToneBroadcaster&) = delete;
+  ToneBroadcaster& operator=(const ToneBroadcaster&) = delete;
+
+  /// Begin broadcasting (CH takes office).  The tone radio is started up
+  /// and the idle pattern begins.
+  void start(double now_s);
+
+  /// Stop broadcasting (round ends or CH dies); radio goes to sleep.
+  void stop(double now_s);
+
+  /// Announce a data-channel state change.  One-shot states (collision)
+  /// emit their pulse and automatically revert to the state given by
+  /// `revert_to` once the pulse completes.
+  void set_state(double now_s, ToneState state, ToneState revert_to = ToneState::kIdle);
+
+  /// The state currently being announced.
+  [[nodiscard]] ToneState state() const noexcept { return state_; }
+
+  /// When the current state began being announced (for staleness models).
+  [[nodiscard]] double state_since_s() const noexcept { return state_since_s_; }
+
+  /// Previous announced state (what a stale listener would believe).
+  [[nodiscard]] ToneState previous_state() const noexcept { return previous_state_; }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Total pulses emitted (diagnostics / Table I bench).
+  [[nodiscard]] std::uint64_t pulses_emitted() const noexcept { return pulses_emitted_; }
+
+ private:
+  void schedule_pulse(double at_s);
+  void begin_pulse(double now_s);
+  void end_pulse(double now_s);
+
+  sim::Simulator* sim_;
+  energy::Radio* radio_;
+  ToneState state_ = ToneState::kIdle;
+  ToneState previous_state_ = ToneState::kIdle;
+  ToneState revert_to_ = ToneState::kIdle;
+  double state_since_s_ = 0.0;
+  bool running_ = false;
+  bool in_pulse_ = false;
+  std::uint64_t pulses_emitted_ = 0;
+  sim::EventId pending_event_ = sim::kInvalidEventId;
+  std::uint64_t epoch_ = 0;  // invalidates stale callbacks after stop/restart
+};
+
+}  // namespace caem::tone

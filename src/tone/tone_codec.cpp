@@ -1,0 +1,42 @@
+#include "tone/tone_codec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace caem::tone {
+
+ToneCodec::ToneCodec(double tolerance) : tolerance_(tolerance) {
+  if (tolerance <= 0.0 || tolerance >= 0.5) {
+    throw std::invalid_argument("ToneCodec: tolerance must be in (0, 0.5)");
+  }
+}
+
+double ToneCodec::nominal_interval_s(ToneState state) const noexcept {
+  const PulsePattern pattern = pattern_for(state);
+  return pattern.repeating ? pattern.period_s : 0.0;
+}
+
+std::optional<ToneState> ToneCodec::classify_interval(double interval_s) const noexcept {
+  if (interval_s <= 0.0) return std::nullopt;
+  constexpr ToneState kRepeating[] = {ToneState::kIdle, ToneState::kReceive};
+  for (const ToneState state : kRepeating) {
+    const double nominal = nominal_interval_s(state);
+    if (std::fabs(interval_s - nominal) / nominal <= tolerance_) return state;
+  }
+  return std::nullopt;
+}
+
+std::optional<ToneState> ToneCodec::classify_pulse_duration(double duration_s) const noexcept {
+  if (duration_s <= 0.0) return std::nullopt;
+  const double idle_d = pattern_for(ToneState::kIdle).pulse_duration_s;
+  const double short_d = pattern_for(ToneState::kReceive).pulse_duration_s;
+  if (std::fabs(duration_s - idle_d) / idle_d <= tolerance_) return ToneState::kIdle;
+  if (std::fabs(duration_s - short_d) / short_d <= tolerance_) return ToneState::kReceive;
+  return std::nullopt;
+}
+
+double ToneCodec::worst_case_acquisition_s() const noexcept {
+  return 2.0 * pattern_for(ToneState::kIdle).period_s;
+}
+
+}  // namespace caem::tone

@@ -1,0 +1,40 @@
+// tone_codec.hpp — mapping between pulse intervals and channel states.
+//
+// A sensor classifies the observed inter-pulse interval back to a channel
+// state.  Classification tolerates timing jitter up to a configurable
+// relative error, mirroring a real pulse-interval discriminator.
+#pragma once
+
+#include <optional>
+
+#include "tone/tone_signal.hpp"
+
+namespace caem::tone {
+
+class ToneCodec {
+ public:
+  /// @param tolerance  maximum relative deviation |obs-nom|/nom accepted
+  explicit ToneCodec(double tolerance = 0.2);
+
+  /// Interval (s) between consecutive pulse leading edges for a state;
+  /// 0 for one-shot states (no repetition interval exists).
+  [[nodiscard]] double nominal_interval_s(ToneState state) const noexcept;
+
+  /// Classify an observed inter-pulse interval.  Returns std::nullopt for
+  /// intervals matching no repeating state within tolerance.
+  [[nodiscard]] std::optional<ToneState> classify_interval(double interval_s) const noexcept;
+
+  /// Classify a pulse by its duration (distinguishes idle's 1 ms pulse
+  /// from the 0.5 ms receive/collision pulses).
+  [[nodiscard]] std::optional<ToneState> classify_pulse_duration(double duration_s)
+      const noexcept;
+
+  /// Minimum continuous listen time guaranteeing at least two pulse
+  /// edges of the slowest repeating pattern (worst-case acquisition).
+  [[nodiscard]] double worst_case_acquisition_s() const noexcept;
+
+ private:
+  double tolerance_;
+};
+
+}  // namespace caem::tone

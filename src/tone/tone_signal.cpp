@@ -1,0 +1,33 @@
+#include "tone/tone_signal.hpp"
+
+#include "util/units.hpp"
+
+namespace caem::tone {
+
+std::string_view to_string(ToneState state) noexcept {
+  switch (state) {
+    case ToneState::kIdle: return "idle";
+    case ToneState::kReceive: return "receive";
+    case ToneState::kCollision: return "collision";
+    case ToneState::kTransmit: return "transmit";
+  }
+  return "?";
+}
+
+PulsePattern pattern_for(ToneState state) noexcept {
+  using util::milliseconds;
+  switch (state) {
+    case ToneState::kIdle:
+      return {milliseconds(1.0), milliseconds(50.0), true};
+    case ToneState::kReceive:
+      return {milliseconds(0.5), milliseconds(10.0), true};
+    case ToneState::kCollision:
+      return {milliseconds(0.5), 0.0, false};
+    case ToneState::kTransmit:
+      // Not exercised by the paper at this stage; modelled like receive.
+      return {milliseconds(0.5), milliseconds(10.0), true};
+  }
+  return {};
+}
+
+}  // namespace caem::tone

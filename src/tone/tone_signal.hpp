@@ -1,0 +1,43 @@
+// tone_signal.hpp — the tone-channel pulse vocabulary (paper Table I).
+//
+// The cluster head encodes the data-channel state in the *interval*
+// between short tone pulses, so sensors can learn the state (and measure
+// the CSI from the pulse strength) with a cheap duty-cycled tone radio
+// instead of a full modulated signaling channel:
+//
+//   state      pulse duration   pulse period        notes
+//   idle       1.0 ms           every 50 ms         broadcast while free
+//   receive    0.5 ms           every 10 ms         while a packet arrives
+//   collision  0.5 ms           one-shot            on detected corruption
+//
+// ("transmit" — sink forwarding to the base station — exists in the
+// paper's state list but is explicitly not exercised at this stage.)
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace caem::tone {
+
+enum class ToneState { kIdle, kReceive, kCollision, kTransmit };
+inline constexpr std::size_t kToneStateCount = 4;
+
+[[nodiscard]] std::string_view to_string(ToneState state) noexcept;
+
+/// The pulse pattern announcing one channel state.
+struct PulsePattern {
+  double pulse_duration_s = 0.0;  ///< tone radio on-time per pulse
+  double period_s = 0.0;          ///< pulse repetition interval (0 = one-shot)
+  bool repeating = true;
+
+  /// Fraction of time the tone transmitter is on for this pattern.
+  [[nodiscard]] double duty_cycle() const noexcept {
+    return (repeating && period_s > 0.0) ? pulse_duration_s / period_s : 0.0;
+  }
+};
+
+/// Table I pattern for each state.
+[[nodiscard]] PulsePattern pattern_for(ToneState state) noexcept;
+
+}  // namespace caem::tone

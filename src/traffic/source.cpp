@@ -1,0 +1,77 @@
+#include "traffic/source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caem::traffic {
+
+PoissonSource::PoissonSource(double rate_pps) : rate_pps_(rate_pps) {
+  if (rate_pps <= 0.0) throw std::invalid_argument("PoissonSource: rate must be > 0");
+}
+
+double PoissonSource::next_interarrival_s(util::Rng& rng) {
+  return rng.exponential_mean(1.0 / rate_pps_);
+}
+
+CbrSource::CbrSource(double rate_pps, double jitter_fraction)
+    : rate_pps_(rate_pps), jitter_fraction_(jitter_fraction) {
+  if (rate_pps <= 0.0) throw std::invalid_argument("CbrSource: rate must be > 0");
+  if (jitter_fraction < 0.0 || jitter_fraction >= 1.0) {
+    throw std::invalid_argument("CbrSource: jitter fraction must be in [0,1)");
+  }
+}
+
+double CbrSource::next_interarrival_s(util::Rng& rng) {
+  const double base = 1.0 / rate_pps_;
+  if (jitter_fraction_ == 0.0) return base;
+  return base * (1.0 + rng.uniform(-jitter_fraction_, jitter_fraction_));
+}
+
+BurstSource::BurstSource(double event_rate_eps, double mean_burst_size,
+                         double intra_burst_gap_s)
+    : event_rate_eps_(event_rate_eps),
+      mean_burst_size_(mean_burst_size),
+      intra_burst_gap_s_(intra_burst_gap_s) {
+  if (event_rate_eps <= 0.0) throw std::invalid_argument("BurstSource: event rate must be > 0");
+  if (mean_burst_size < 1.0) throw std::invalid_argument("BurstSource: burst size must be >= 1");
+  if (intra_burst_gap_s <= 0.0) throw std::invalid_argument("BurstSource: gap must be > 0");
+}
+
+double BurstSource::next_interarrival_s(util::Rng& rng) {
+  if (remaining_in_burst_ > 0) {
+    --remaining_in_burst_;
+    return intra_burst_gap_s_;
+  }
+  // New event: draw the burst size from a geometric distribution with the
+  // requested mean; this packet starts it, the rest follow at gap spacing.
+  const double success = 1.0 / mean_burst_size_;
+  std::uint64_t size = 1;
+  while (!rng.bernoulli(success) && size < 1000) ++size;
+  remaining_in_burst_ = size - 1;
+  return rng.exponential_mean(1.0 / event_rate_eps_);
+}
+
+double BurstSource::mean_rate_pps() const {
+  // One cycle = exponential quiet gap (mean 1/event rate) plus the
+  // intra-burst gaps of the remaining mean_burst - 1 packets.
+  const double cycle_s = 1.0 / event_rate_eps_ + (mean_burst_size_ - 1.0) * intra_burst_gap_s_;
+  return mean_burst_size_ / cycle_s;
+}
+
+std::unique_ptr<TrafficSource> make_source(const std::string& kind, double rate_pps) {
+  if (kind == "poisson") return std::make_unique<PoissonSource>(rate_pps);
+  if (kind == "cbr") return std::make_unique<CbrSource>(rate_pps, 0.1);
+  if (kind == "burst") {
+    // Mean aggregate rate == rate_pps: solve the cycle equation for the
+    // event rate given bursts of mean size 5 spaced 10 ms apart.
+    constexpr double kBurst = 5.0, kGap = 0.01;
+    const double quiet_s = kBurst / rate_pps - (kBurst - 1.0) * kGap;
+    if (quiet_s <= 0.0) {
+      throw std::invalid_argument("make_source: burst rate too high for the burst shape");
+    }
+    return std::make_unique<BurstSource>(1.0 / quiet_s, kBurst, kGap);
+  }
+  throw std::invalid_argument("make_source: unknown kind '" + kind + "'");
+}
+
+}  // namespace caem::traffic

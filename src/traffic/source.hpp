@@ -1,0 +1,75 @@
+// source.hpp — workload generators.
+//
+// The paper: "Each sensor node is a Poisson source"; the benchmark sweeps
+// the per-node rate ("Added Traffic Load", packets/second/node).  CBR and
+// event-burst sources are provided as extensions (surveillance workloads
+// in the examples use bursts).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace caem::traffic {
+
+/// Interface: inter-arrival process for one node's sensed packets.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Seconds until the next packet is generated (strictly positive).
+  [[nodiscard]] virtual double next_interarrival_s(util::Rng& rng) = 0;
+
+  /// Mean packet rate (packets/s) — used by analytic sanity checks.
+  [[nodiscard]] virtual double mean_rate_pps() const = 0;
+};
+
+/// Poisson process: exponential inter-arrival times.
+class PoissonSource final : public TrafficSource {
+ public:
+  explicit PoissonSource(double rate_pps);
+  [[nodiscard]] double next_interarrival_s(util::Rng& rng) override;
+  [[nodiscard]] double mean_rate_pps() const override { return rate_pps_; }
+
+ private:
+  double rate_pps_;
+};
+
+/// Constant bit rate with optional uniform jitter fraction.
+class CbrSource final : public TrafficSource {
+ public:
+  CbrSource(double rate_pps, double jitter_fraction = 0.0);
+  [[nodiscard]] double next_interarrival_s(util::Rng& rng) override;
+  [[nodiscard]] double mean_rate_pps() const override { return rate_pps_; }
+
+ private:
+  double rate_pps_;
+  double jitter_fraction_;
+};
+
+/// Event bursts: quiet exponential gaps between events; each event emits
+/// a geometrically distributed burst of closely spaced packets —
+/// a surveillance-style workload (something happened, report a volley).
+class BurstSource final : public TrafficSource {
+ public:
+  /// @param event_rate_eps     events per second
+  /// @param mean_burst_size    mean packets per event (>= 1)
+  /// @param intra_burst_gap_s  spacing between packets inside a burst
+  BurstSource(double event_rate_eps, double mean_burst_size, double intra_burst_gap_s);
+  [[nodiscard]] double next_interarrival_s(util::Rng& rng) override;
+  [[nodiscard]] double mean_rate_pps() const override;
+
+ private:
+  double event_rate_eps_;
+  double mean_burst_size_;
+  double intra_burst_gap_s_;
+  std::uint64_t remaining_in_burst_ = 0;
+};
+
+/// Factory from a name ("poisson", "cbr", "burst") and rate; used by the
+/// examples' command-line interface.
+[[nodiscard]] std::unique_ptr<TrafficSource> make_source(const std::string& kind,
+                                                         double rate_pps);
+
+}  // namespace caem::traffic

@@ -1,0 +1,113 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace caem::util {
+
+std::string trim(const std::string& text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  auto begin = text.begin();
+  auto end = text.end();
+  while (begin != end && is_space(static_cast<unsigned char>(*begin))) ++begin;
+  while (end != begin && is_space(static_cast<unsigned char>(*(end - 1)))) --end;
+  return std::string(begin, end);
+}
+
+Config Config::from_args(const std::vector<std::string>& tokens) {
+  Config config;
+  for (const auto& token : tokens) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("Config: expected key=value, got '" + token + "'");
+    }
+    config.set(trim(token.substr(0, eq)), trim(token.substr(eq + 1)));
+  }
+  return config;
+}
+
+Config Config::from_text(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("Config: expected key = value, got '" + line + "'");
+    }
+    config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  if (key.empty()) throw std::invalid_argument("Config: empty key");
+  entries_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return entries_.count(key) != 0; }
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  consumed_[key] = true;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing chars");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Config: key '" + key + "' is not a number: '" + it->second + "'");
+  }
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  consumed_[key] = true;
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing chars");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Config: key '" + key + "' is not an integer: '" + it->second +
+                                "'");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  consumed_[key] = true;
+  std::string lowered = it->second;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on") return true;
+  if (lowered == "0" || lowered == "false" || lowered == "no" || lowered == "off") return false;
+  throw std::invalid_argument("Config: key '" + key + "' is not a boolean: '" + it->second + "'");
+}
+
+std::vector<std::string> Config::unconsumed() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : entries_) {
+    (void)value;
+    if (!consumed_.count(key)) keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace caem::util

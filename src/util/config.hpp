@@ -1,0 +1,52 @@
+// config.hpp — lightweight key=value configuration store.
+//
+// Examples and benchmarks accept `key=value` command-line overrides so a
+// user can sweep parameters without recompiling; this class parses and
+// type-checks them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace caem::util {
+
+/// String-keyed configuration with typed getters.  Unknown keys are
+/// detectable via `unconsumed()` so callers can reject typos.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse `key=value` tokens (e.g. from argv).  Throws
+  /// std::invalid_argument on a token without '='.
+  static Config from_args(const std::vector<std::string>& tokens);
+
+  /// Parse newline-separated `key = value` text ('#' starts a comment).
+  static Config from_text(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::invalid_argument when present but malformed.
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys never read through a getter (typo detection for CLIs).
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::string> entries_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string trim(const std::string& text);
+
+}  // namespace caem::util

@@ -1,0 +1,66 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace caem::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0.0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double value) noexcept { add(value, 1.0); }
+
+void Histogram::add(double value, double weight) noexcept {
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi_
+  counts_[bin] += weight;
+}
+
+double Histogram::bin_lower(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_center(std::size_t bin) const noexcept {
+  return bin_lower(bin) + width_ / 2.0;
+}
+
+double Histogram::total() const noexcept {
+  double sum = underflow_ + overflow_;
+  for (const double c : counts_) sum += c;
+  return sum;
+}
+
+double Histogram::density(std::size_t bin) const noexcept {
+  double in_range = 0.0;
+  for (const double c : counts_) in_range += c;
+  return in_range <= 0.0 ? 0.0 : counts_[bin] / in_range;
+}
+
+std::string Histogram::to_string(std::size_t max_bar_width) const {
+  const double peak = counts_.empty() ? 0.0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = peak <= 0.0 ? std::size_t{0}
+                                 : static_cast<std::size_t>(std::lround(
+                                       counts_[i] / peak * static_cast<double>(max_bar_width)));
+    out << "[" << bin_lower(i) << ", " << (bin_lower(i) + width_) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace caem::util

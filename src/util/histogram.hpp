@@ -1,0 +1,44 @@
+// histogram.hpp — fixed-bin histogram for distribution checks and reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace caem::util {
+
+/// Uniform-bin histogram over [lo, hi).  Out-of-range observations are
+/// counted in explicit underflow/overflow tallies so totals always balance.
+class Histogram {
+ public:
+  /// Create `bins` uniform bins spanning [lo, hi).  Requires hi > lo, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add(double value, double weight) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double bin_lower(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_center(std::size_t bin) const noexcept;
+  [[nodiscard]] double count(std::size_t bin) const noexcept { return counts_[bin]; }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double total() const noexcept;
+
+  /// Fraction of in-range mass in the given bin (0 if histogram empty).
+  [[nodiscard]] double density(std::size_t bin) const noexcept;
+
+  /// Multi-line ASCII rendering (for examples and debug output).
+  [[nodiscard]] std::string to_string(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace caem::util

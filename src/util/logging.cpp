@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace caem::util {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+std::mutex g_stderr_mutex;
+
+void stderr_sink(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_stderr_mutex);
+  std::cerr << "[caem:" << to_string(level) << "] " << message << "\n";
+}
+}  // namespace
+
+Logger::Logger() : sink_(stderr_sink) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = sink ? std::move(sink) : Sink(stderr_sink); }
+
+void Logger::emit(LogLevel level, const std::string& message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace caem::util

@@ -1,0 +1,59 @@
+// logging.hpp — leveled logging with a process-wide sink.
+//
+// The simulator is silent by default (benchmarks run thousands of events
+// per millisecond); tests and examples opt into TRACE/DEBUG when useful.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace caem::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Process-wide logger configuration.  Not thread-safe for reconfiguration
+/// (set it up before starting worker threads); emit() is safe to call
+/// concurrently when the sink is (the default stderr sink serialises).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Replace the sink (pass nullptr to restore the stderr default).
+  void set_sink(Sink sink);
+
+  void emit(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace caem::util
+
+// Stream-style logging macros; the message is only built when enabled.
+#define CAEM_LOG(level, expr)                                                   \
+  do {                                                                          \
+    if (::caem::util::Logger::instance().enabled(level)) {                      \
+      std::ostringstream caem_log_stream_;                                      \
+      caem_log_stream_ << expr;                                                 \
+      ::caem::util::Logger::instance().emit(level, caem_log_stream_.str());     \
+    }                                                                           \
+  } while (0)
+
+#define CAEM_TRACE(expr) CAEM_LOG(::caem::util::LogLevel::kTrace, expr)
+#define CAEM_DEBUG(expr) CAEM_LOG(::caem::util::LogLevel::kDebug, expr)
+#define CAEM_INFO(expr) CAEM_LOG(::caem::util::LogLevel::kInfo, expr)
+#define CAEM_WARN(expr) CAEM_LOG(::caem::util::LogLevel::kWarn, expr)
+#define CAEM_ERROR(expr) CAEM_LOG(::caem::util::LogLevel::kError, expr)

@@ -1,0 +1,80 @@
+// ring_buffer.hpp — fixed-capacity FIFO used by the packet queue.
+//
+// Header-only template: contiguous storage, no allocation after
+// construction, O(1) push/pop.  Capacity is a runtime constructor
+// argument because buffer size is a simulation parameter (Table II).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace caem::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : storage_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == storage_.size(); }
+
+  /// Push to the back; returns false (and drops the value) when full.
+  bool try_push(T value) {
+    if (full()) return false;
+    storage_[(head_ + size_) % storage_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Front element; throws std::out_of_range when empty.
+  [[nodiscard]] T& front() {
+    if (empty()) throw std::out_of_range("RingBuffer: front() on empty buffer");
+    return storage_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    if (empty()) throw std::out_of_range("RingBuffer: front() on empty buffer");
+    return storage_[head_];
+  }
+
+  /// i-th element from the front (0 == front); throws when out of range.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer: index out of range");
+    return storage_[(head_ + i) % storage_.size()];
+  }
+
+  /// Push to the front (re-queue); returns false when full.
+  bool try_push_front(T value) {
+    if (full()) return false;
+    head_ = (head_ + storage_.size() - 1) % storage_.size();
+    storage_[head_] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Pop from the front; throws std::out_of_range when empty.
+  T pop() {
+    if (empty()) throw std::out_of_range("RingBuffer: pop() on empty buffer");
+    T value = std::move(storage_[head_]);
+    head_ = (head_ + 1) % storage_.size();
+    --size_;
+    return value;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace caem::util

@@ -1,0 +1,88 @@
+#include "util/table_writer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace caem::util {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+TableWriter& TableWriter::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TableWriter& TableWriter::cell(std::string text) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TableWriter& TableWriter::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+TableWriter& TableWriter::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+void TableWriter::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& text = i < row.size() ? row[i] : std::string{};
+      out << " " << std::setw(static_cast<int>(widths[i])) << text << " |";
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  out << "|";
+  for (const std::size_t w : widths) out << std::string(w + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TableWriter::to_string() const {
+  std::ostringstream out;
+  render(out);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (const char c : cell) {
+    if (c == '"') escaped += "\"\"";
+    else escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+}  // namespace
+
+void TableWriter::render_csv(std::ostream& out) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << csv_escape(row[i]);
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace caem::util

@@ -1,0 +1,43 @@
+// table_writer.hpp — aligned console tables and CSV output for the
+// benchmark harness, so every figure bench prints the paper-style rows
+// uniformly and can optionally dump machine-readable CSV next to them.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace caem::util {
+
+/// Column-aligned table builder.  Cells are strings; numeric helpers
+/// format with a fixed precision.  Rendering pads to the widest cell.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Begin a new row.  Cells are appended with `cell` overloads.
+  TableWriter& new_row();
+  TableWriter& cell(std::string text);
+  TableWriter& cell(double value, int precision = 3);
+  TableWriter& cell(std::size_t value);
+
+  /// Number of completed (plus in-progress) data rows.
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  void render(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (RFC-4180-ish: quote cells containing commas/quotes).
+  void render_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (shared by TableWriter and logs).
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+}  // namespace caem::util

@@ -1,0 +1,78 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caem::util {
+
+void TimeSeries::add(double time_s, double value) {
+  if (!points_.empty() && time_s < points_.back().time_s) {
+    throw std::invalid_argument("TimeSeries: timestamps must be non-decreasing");
+  }
+  points_.push_back({time_s, value});
+}
+
+double TimeSeries::value_at(double time_s) const {
+  if (points_.empty()) return 0.0;
+  if (time_s <= points_.front().time_s) return points_.front().value;
+  if (time_s >= points_.back().time_s) return points_.back().value;
+  const auto upper = std::upper_bound(
+      points_.begin(), points_.end(), time_s,
+      [](double t, const TimePoint& p) { return t < p.time_s; });
+  const auto lower = upper - 1;
+  const double span = upper->time_s - lower->time_s;
+  if (span <= 0.0) return lower->value;
+  const double frac = (time_s - lower->time_s) / span;
+  return lower->value + frac * (upper->value - lower->value);
+}
+
+double TimeSeries::step_value_at(double time_s) const {
+  if (points_.empty()) return 0.0;
+  if (time_s < points_.front().time_s) return points_.front().value;
+  const auto upper = std::upper_bound(
+      points_.begin(), points_.end(), time_s,
+      [](double t, const TimePoint& p) { return t < p.time_s; });
+  return (upper - 1)->value;
+}
+
+double TimeSeries::first_time_below(double threshold) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].value <= threshold) {
+      if (i == 0) return points_[0].time_s;
+      // Interpolate the crossing inside the previous segment.
+      const TimePoint& a = points_[i - 1];
+      const TimePoint& b = points_[i];
+      const double dv = b.value - a.value;
+      if (dv >= 0.0) return b.time_s;  // vertical drop or equal values
+      const double frac = (threshold - a.value) / dv;
+      return a.time_s + frac * (b.time_s - a.time_s);
+    }
+  }
+  return -1.0;
+}
+
+TimeSeries TimeSeries::resample(double t0, double t1, std::size_t n) const {
+  TimeSeries out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.add(t0, value_at(t0));
+    return out;
+  }
+  const double step = (t1 - t0) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + step * static_cast<double>(i);
+    out.add(t, value_at(t));
+  }
+  return out;
+}
+
+double TimeSeries::integral() const noexcept {
+  double area = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dt = points_[i].time_s - points_[i - 1].time_s;
+    area += 0.5 * (points_[i].value + points_[i - 1].value) * dt;
+  }
+  return area;
+}
+
+}  // namespace caem::util

@@ -1,0 +1,69 @@
+// units.hpp — unit conversion helpers used throughout the library.
+//
+// Conventions (documented once here, relied on everywhere):
+//   * time      : double, seconds
+//   * energy    : double, joules
+//   * power     : double, watts
+//   * distance  : double, metres
+//   * data size : double or std::uint64_t, bits
+//   * rate      : double, bits per second
+//   * gain/SNR  : linear (power ratio) unless the name says _db
+#pragma once
+
+#include <cmath>
+
+namespace caem::util {
+
+/// Convert a power ratio expressed in decibels to a linear ratio.
+[[nodiscard]] constexpr double db_to_linear(double db) noexcept {
+  // constexpr-friendly 10^(db/10) is not available pre-C++26; std::pow is
+  // not constexpr on all toolchains, so use exp/log formulation.
+  return std::exp(db * 0.230258509299404568402);  // ln(10)/10
+}
+
+/// Convert a linear power ratio to decibels.
+[[nodiscard]] inline double linear_to_db(double linear) noexcept {
+  return 10.0 * std::log10(linear);
+}
+
+/// Convert a power in dBm to watts.
+[[nodiscard]] inline double dbm_to_watts(double dbm) noexcept {
+  return 1e-3 * db_to_linear(dbm);
+}
+
+/// Convert a power in watts to dBm.
+[[nodiscard]] inline double watts_to_dbm(double watts) noexcept {
+  return linear_to_db(watts / 1e-3);
+}
+
+// ---- time helpers (all return seconds) ----
+[[nodiscard]] constexpr double microseconds(double us) noexcept { return us * 1e-6; }
+[[nodiscard]] constexpr double milliseconds(double ms) noexcept { return ms * 1e-3; }
+[[nodiscard]] constexpr double seconds(double s) noexcept { return s; }
+[[nodiscard]] constexpr double minutes(double m) noexcept { return m * 60.0; }
+
+// ---- power helpers (all return watts) ----
+[[nodiscard]] constexpr double microwatts(double uw) noexcept { return uw * 1e-6; }
+[[nodiscard]] constexpr double milliwatts(double mw) noexcept { return mw * 1e-3; }
+[[nodiscard]] constexpr double watts(double w) noexcept { return w; }
+
+// ---- energy helpers (all return joules) ----
+[[nodiscard]] constexpr double microjoules(double uj) noexcept { return uj * 1e-6; }
+[[nodiscard]] constexpr double millijoules(double mj) noexcept { return mj * 1e-3; }
+[[nodiscard]] constexpr double joules(double j) noexcept { return j; }
+
+// ---- rate helpers (all return bits/second) ----
+[[nodiscard]] constexpr double kbps(double k) noexcept { return k * 1e3; }
+[[nodiscard]] constexpr double mbps(double m) noexcept { return m * 1e6; }
+
+// ---- data size helpers (bits) ----
+[[nodiscard]] constexpr double kilobits(double kb) noexcept { return kb * 1e3; }
+[[nodiscard]] constexpr double bytes(double b) noexcept { return b * 8.0; }
+
+/// Speed of light in m/s; used by path-loss reference computations.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant in J/K; used for thermal-noise floors.
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+}  // namespace caem::util

@@ -1,0 +1,89 @@
+// Tests for util::Config and util::Logger.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/config.hpp"
+#include "util/logging.hpp"
+
+namespace caem::util {
+namespace {
+
+TEST(Config, ParsesArgsAndTypes) {
+  const Config config = Config::from_args({"a=1", "b=2.5", "c=hello", "d=true"});
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  EXPECT_DOUBLE_EQ(config.get_double("b", 0.0), 2.5);
+  EXPECT_EQ(config.get_string("c", ""), "hello");
+  EXPECT_TRUE(config.get_bool("d", false));
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const Config config = Config::from_args({});
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(config.get_bool("missing", false));
+}
+
+TEST(Config, MalformedValuesThrow) {
+  const Config config = Config::from_args({"x=abc", "y=1.2.3", "z=maybe"});
+  EXPECT_THROW(config.get_int("x", 0), std::invalid_argument);
+  EXPECT_THROW(config.get_double("y", 0.0), std::invalid_argument);
+  EXPECT_THROW(config.get_bool("z", false), std::invalid_argument);
+}
+
+TEST(Config, MalformedTokenThrows) {
+  EXPECT_THROW(Config::from_args({"noequals"}), std::invalid_argument);
+}
+
+TEST(Config, FromTextWithCommentsAndBlanks) {
+  const Config config = Config::from_text("# comment\n  a = 3 \n\n b=4 # trailing\n");
+  EXPECT_EQ(config.get_int("a", 0), 3);
+  EXPECT_EQ(config.get_int("b", 0), 4);
+  EXPECT_EQ(config.size(), 2u);
+}
+
+TEST(Config, UnconsumedDetectsTypos) {
+  const Config config = Config::from_args({"real=1", "typo=2"});
+  (void)config.get_int("real", 0);
+  const auto leftover = config.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(Config, BoolSpellings) {
+  const Config config =
+      Config::from_args({"a=YES", "b=off", "c=1", "d=FALSE"});
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Logger, LevelGatingAndSink) {
+  Logger& logger = Logger::instance();
+  const LogLevel old_level = logger.level();
+  std::vector<std::string> captured;
+  logger.set_sink([&](LogLevel, const std::string& message) { captured.push_back(message); });
+  logger.set_level(LogLevel::kWarn);
+  CAEM_DEBUG("hidden " << 1);
+  CAEM_WARN("visible " << 2);
+  CAEM_ERROR("also " << 3);
+  EXPECT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "visible 2");
+  logger.set_sink(nullptr);  // restore default
+  logger.set_level(old_level);
+}
+
+TEST(Logger, ToStringNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace caem::util

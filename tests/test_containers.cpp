@@ -1,0 +1,103 @@
+// Tests for util::RingBuffer and util::TableWriter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ring_buffer.hpp"
+#include "util/table_writer.hpp"
+
+namespace caem::util {
+namespace {
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> buffer(4);
+  for (int i = 1; i <= 4; ++i) EXPECT_TRUE(buffer.try_push(i));
+  EXPECT_TRUE(buffer.full());
+  EXPECT_FALSE(buffer.try_push(5));
+  for (int i = 1; i <= 4; ++i) EXPECT_EQ(buffer.pop(), i);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBuffer, WrapAround) {
+  RingBuffer<int> buffer(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(buffer.try_push(round));
+    EXPECT_EQ(buffer.pop(), round);
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBuffer, PushFrontRestoresHead) {
+  RingBuffer<int> buffer(4);
+  buffer.try_push(2);
+  buffer.try_push(3);
+  EXPECT_TRUE(buffer.try_push_front(1));
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.pop(), 1);
+  EXPECT_EQ(buffer.pop(), 2);
+  EXPECT_EQ(buffer.pop(), 3);
+}
+
+TEST(RingBuffer, PushFrontWhenFullFails) {
+  RingBuffer<int> buffer(2);
+  buffer.try_push(1);
+  buffer.try_push(2);
+  EXPECT_FALSE(buffer.try_push_front(0));
+}
+
+TEST(RingBuffer, AtIndexesFromHead) {
+  RingBuffer<int> buffer(3);
+  buffer.try_push(10);
+  buffer.try_push(20);
+  (void)buffer.pop();
+  buffer.try_push(30);
+  buffer.try_push(40);  // storage now wrapped
+  EXPECT_EQ(buffer.at(0), 20);
+  EXPECT_EQ(buffer.at(1), 30);
+  EXPECT_EQ(buffer.at(2), 40);
+  EXPECT_THROW(buffer.at(3), std::out_of_range);
+}
+
+TEST(RingBuffer, ErrorsAndClear) {
+  RingBuffer<int> buffer(2);
+  EXPECT_THROW(buffer.pop(), std::out_of_range);
+  EXPECT_THROW(buffer.front(), std::out_of_range);
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+  buffer.try_push(1);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter table({"a", "long-header"});
+  table.new_row().cell(std::string("xxxx")).cell(1.5, 1);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("|    a | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxx |         1.5 |"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscapesSpecials) {
+  TableWriter table({"k", "v"});
+  table.new_row().cell(std::string("a,b")).cell(std::string("say \"hi\""));
+  std::ostringstream out;
+  table.render_csv(out);
+  EXPECT_NE(out.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableWriter, NumericCells) {
+  TableWriter table({"n", "x"});
+  table.new_row().cell(std::size_t{42}).cell(3.14159, 2);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(-0.5, 2), "-0.50");
+}
+
+}  // namespace
+}  // namespace caem::util

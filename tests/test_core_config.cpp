@@ -1,0 +1,109 @@
+// Tests for NetworkConfig and the Protocol enum plumbing.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+
+namespace caem::core {
+namespace {
+
+TEST(NetworkConfig, DefaultsAreValidAndMatchTableTwo) {
+  const NetworkConfig config;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.node_count, 100u);        // Table II: 100 nodes
+  EXPECT_DOUBLE_EQ(config.ch_fraction, 0.05);  // 5 % CH
+  EXPECT_DOUBLE_EQ(config.packet_bits, 2048.0);  // 2 kbit
+  EXPECT_EQ(config.buffer_capacity, 50u);
+  EXPECT_EQ(config.backoff.cw, 10u);
+  EXPECT_EQ(config.backoff.max_retries, 6u);
+  EXPECT_EQ(config.burst.min_packets, 3u);
+  EXPECT_EQ(config.burst.max_packets, 8u);
+  EXPECT_EQ(config.sample_every_m, 5u);        // m = 5
+  EXPECT_EQ(config.arm_queue_length, 15u);     // Q_threshold = 15
+  EXPECT_DOUBLE_EQ(config.data_tx_w, 0.66);
+  EXPECT_DOUBLE_EQ(config.data_rx_w, 0.305);
+  EXPECT_DOUBLE_EQ(config.tone_tx_w, 92e-3);
+  EXPECT_DOUBLE_EQ(config.tone_rx_w, 36e-3);
+  EXPECT_DOUBLE_EQ(config.initial_energy_j, 10.0);
+}
+
+TEST(NetworkConfig, ProfilesDeriveFromFields) {
+  const NetworkConfig config;
+  const auto data = config.data_radio_profile();
+  EXPECT_DOUBLE_EQ(data.tx_w, 0.66);
+  EXPECT_DOUBLE_EQ(data.rx_w, 0.305);
+  EXPECT_DOUBLE_EQ(data.sleep_w, 3.5e-6);
+  EXPECT_DOUBLE_EQ(data.startup_w, 0.66);  // warm-up at tx draw
+  const auto tone = config.tone_radio_profile();
+  EXPECT_DOUBLE_EQ(tone.tx_w, 92e-3);
+  EXPECT_DOUBLE_EQ(tone.rx_w, 36e-3);
+  EXPECT_DOUBLE_EQ(tone.idle_w, 36e-3 * config.tone_monitor_duty);
+}
+
+TEST(NetworkConfig, LinkBudgetUsesNoiseFloor) {
+  const NetworkConfig config;
+  const auto budget = config.link_budget();
+  EXPECT_DOUBLE_EQ(budget.tx_power_dbm, 0.0);
+  EXPECT_NEAR(budget.noise_floor_dbm, -101.0, 1.0);  // 2 MHz + NF 10
+}
+
+TEST(NetworkConfig, ValidationCatchesBadValues) {
+  NetworkConfig config;
+  config.node_count = 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = NetworkConfig{};
+  config.ch_fraction = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = NetworkConfig{};
+  config.burst.min_packets = 9;  // > max_packets
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = NetworkConfig{};
+  config.dead_fraction = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = NetworkConfig{};
+  config.tone_monitor_duty = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(NetworkConfig, OverridesApply) {
+  NetworkConfig config;
+  config.apply_overrides(util::Config::from_args(
+      {"node_count=20", "traffic_rate_pps=12.5", "channel.doppler_hz=10",
+       "burst_min=1", "burst_max=4", "dead_fraction=0.5"}));
+  EXPECT_EQ(config.node_count, 20u);
+  EXPECT_DOUBLE_EQ(config.traffic_rate_pps, 12.5);
+  EXPECT_DOUBLE_EQ(config.channel.doppler_hz, 10.0);
+  EXPECT_EQ(config.burst.min_packets, 1u);
+  EXPECT_EQ(config.burst.max_packets, 4u);
+  EXPECT_DOUBLE_EQ(config.dead_fraction, 0.5);
+}
+
+TEST(NetworkConfig, OverridesValidate) {
+  NetworkConfig config;
+  EXPECT_THROW(config.apply_overrides(util::Config::from_args({"node_count=1"})),
+               std::invalid_argument);
+}
+
+TEST(Protocol, NamesRoundTrip) {
+  EXPECT_STREQ(to_string(Protocol::kPureLeach), "pure-leach");
+  EXPECT_STREQ(to_string(Protocol::kCaemScheme1), "caem-scheme1");
+  EXPECT_STREQ(to_string(Protocol::kCaemScheme2), "caem-scheme2");
+  for (const Protocol protocol : kAllProtocols) {
+    EXPECT_EQ(protocol_from_string(to_string(protocol)), protocol);
+  }
+  EXPECT_EQ(protocol_from_string("leach"), Protocol::kPureLeach);
+  EXPECT_EQ(protocol_from_string("scheme1"), Protocol::kCaemScheme1);
+  EXPECT_EQ(protocol_from_string("fixed"), Protocol::kCaemScheme2);
+  EXPECT_THROW(protocol_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Protocol, PolicyMapping) {
+  EXPECT_EQ(threshold_policy_for(Protocol::kPureLeach), queueing::ThresholdPolicy::kNone);
+  EXPECT_EQ(threshold_policy_for(Protocol::kCaemScheme1),
+            queueing::ThresholdPolicy::kAdaptive);
+  EXPECT_EQ(threshold_policy_for(Protocol::kCaemScheme2),
+            queueing::ThresholdPolicy::kFixedHighest);
+}
+
+}  // namespace
+}  // namespace caem::core

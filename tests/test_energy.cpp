@@ -1,0 +1,154 @@
+// Tests for the energy substrate: battery, ledger, radio integration.
+// The headline property: battery drop == ledger total == sum of
+// state-power x state-duration, exactly.
+#include <gtest/gtest.h>
+
+#include "energy/battery.hpp"
+#include "energy/energy_ledger.hpp"
+#include "energy/radio_energy_model.hpp"
+
+namespace caem::energy {
+namespace {
+
+RadioPowerProfile test_profile() {
+  RadioPowerProfile profile;
+  profile.sleep_w = 1e-6;
+  profile.startup_w = 0.5;
+  profile.idle_w = 0.01;
+  profile.rx_w = 0.3;
+  profile.tx_w = 0.6;
+  profile.startup_time_s = 2e-3;
+  return profile;
+}
+
+TEST(PowerProfile, MapsStatesToPower) {
+  const RadioPowerProfile profile = test_profile();
+  EXPECT_DOUBLE_EQ(profile.power(RadioState::kOff), 0.0);
+  EXPECT_DOUBLE_EQ(profile.power(RadioState::kSleep), 1e-6);
+  EXPECT_DOUBLE_EQ(profile.power(RadioState::kStartup), 0.5);
+  EXPECT_DOUBLE_EQ(profile.power(RadioState::kIdle), 0.01);
+  EXPECT_DOUBLE_EQ(profile.power(RadioState::kRx), 0.3);
+  EXPECT_DOUBLE_EQ(profile.power(RadioState::kTx), 0.6);
+}
+
+TEST(Battery, DrainAndDeath) {
+  Battery battery(1.0);
+  double death_time = -1.0;
+  battery.set_death_callback([&](double t) { death_time = t; });
+  EXPECT_DOUBLE_EQ(battery.drain(0.4, 1.0), 0.4);
+  EXPECT_FALSE(battery.depleted());
+  EXPECT_DOUBLE_EQ(battery.remaining_j(), 0.6);
+  EXPECT_DOUBLE_EQ(battery.drain(0.9, 2.0), 0.6);  // clamped
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_DOUBLE_EQ(battery.death_time_s(), 2.0);
+  EXPECT_DOUBLE_EQ(death_time, 2.0);
+  EXPECT_DOUBLE_EQ(battery.drain(1.0, 3.0), 0.0);  // dead stays dead
+  EXPECT_DOUBLE_EQ(battery.consumed_j(), 1.0);
+}
+
+TEST(Battery, Validation) {
+  EXPECT_THROW(Battery(0.0), std::invalid_argument);
+  Battery battery(1.0);
+  EXPECT_THROW(battery.drain(-0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Ledger, AccumulatesAndAggregates) {
+  EnergyLedger ledger;
+  ledger.add(RadioId::kData, RadioState::kTx, 0.5);
+  ledger.add(RadioId::kData, RadioState::kTx, 0.25);
+  ledger.add(RadioId::kTone, RadioState::kRx, 0.1);
+  EXPECT_DOUBLE_EQ(ledger.entry(RadioId::kData, RadioState::kTx), 0.75);
+  EXPECT_DOUBLE_EQ(ledger.total(RadioId::kData), 0.75);
+  EXPECT_DOUBLE_EQ(ledger.total(RadioId::kTone), 0.1);
+  EXPECT_DOUBLE_EQ(ledger.total(), 0.85);
+  EXPECT_DOUBLE_EQ(ledger.total_state(RadioState::kTx), 0.75);
+
+  EnergyLedger other;
+  other.add(RadioId::kData, RadioState::kTx, 1.0);
+  ledger.merge(other);
+  EXPECT_DOUBLE_EQ(ledger.entry(RadioId::kData, RadioState::kTx), 1.75);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
+}
+
+TEST(Radio, IntegratesStateTimeExactly) {
+  Battery battery(100.0);
+  EnergyLedger ledger;
+  Radio radio(RadioId::kData, test_profile(), &battery, &ledger);
+
+  radio.transition(0.0, RadioState::kSleep);   // off 0..0: nothing
+  radio.transition(10.0, RadioState::kTx);     // sleep 10 s
+  radio.transition(10.5, RadioState::kRx);     // tx 0.5 s
+  radio.transition(11.5, RadioState::kSleep);  // rx 1 s
+  radio.settle(20.0);                          // sleep 8.5 s
+
+  const double expected_sleep = (10.0 + 8.5) * 1e-6;
+  const double expected_tx = 0.5 * 0.6;
+  const double expected_rx = 1.0 * 0.3;
+  EXPECT_NEAR(ledger.entry(RadioId::kData, RadioState::kSleep), expected_sleep, 1e-12);
+  EXPECT_NEAR(ledger.entry(RadioId::kData, RadioState::kTx), expected_tx, 1e-12);
+  EXPECT_NEAR(ledger.entry(RadioId::kData, RadioState::kRx), expected_rx, 1e-12);
+  // Conservation: ledger == battery drop.
+  EXPECT_NEAR(ledger.total(), battery.consumed_j(), 1e-12);
+}
+
+TEST(Radio, SettleIsIdempotentAtSameTime) {
+  Battery battery(10.0);
+  EnergyLedger ledger;
+  Radio radio(RadioId::kTone, test_profile(), &battery, &ledger);
+  radio.transition(0.0, RadioState::kRx);
+  radio.settle(5.0);
+  const double consumed = battery.consumed_j();
+  radio.settle(5.0);
+  EXPECT_DOUBLE_EQ(battery.consumed_j(), consumed);
+}
+
+TEST(Radio, TimeRegressionThrows) {
+  Battery battery(10.0);
+  EnergyLedger ledger;
+  Radio radio(RadioId::kData, test_profile(), &battery, &ledger);
+  radio.transition(5.0, RadioState::kIdle);
+  EXPECT_THROW(radio.settle(4.0), std::invalid_argument);
+}
+
+TEST(Radio, DepletedBatteryForcesOff) {
+  Battery battery(0.1);
+  EnergyLedger ledger;
+  Radio radio(RadioId::kData, test_profile(), &battery, &ledger);
+  radio.transition(0.0, RadioState::kTx);
+  radio.transition(10.0, RadioState::kRx);  // 6 J wanted, 0.1 available
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_EQ(radio.state(), RadioState::kOff);
+  // Ledger only records what was actually drawn.
+  EXPECT_NEAR(ledger.total(), 0.1, 1e-12);
+}
+
+TEST(Radio, DeathCallbackFiresAtExhaustionTransition) {
+  Battery battery(0.3);
+  EnergyLedger ledger;
+  double death = -1.0;
+  battery.set_death_callback([&](double t) { death = t; });
+  Radio radio(RadioId::kData, test_profile(), &battery, &ledger);
+  radio.transition(0.0, RadioState::kTx);  // 0.6 W: dies at 0.5 s of tx
+  radio.settle(1.0);
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_DOUBLE_EQ(death, 1.0);  // detected at the settle that crossed zero
+}
+
+TEST(Radio, Validation) {
+  Battery battery(1.0);
+  EnergyLedger ledger;
+  EXPECT_THROW(Radio(RadioId::kData, test_profile(), nullptr, &ledger),
+               std::invalid_argument);
+  EXPECT_THROW(Radio(RadioId::kData, test_profile(), &battery, nullptr),
+               std::invalid_argument);
+}
+
+TEST(LedgerNames, ToString) {
+  EXPECT_EQ(to_string(RadioId::kData), "data");
+  EXPECT_EQ(to_string(RadioId::kTone), "tone");
+  EXPECT_EQ(to_string(RadioState::kStartup), "startup");
+}
+
+}  // namespace
+}  // namespace caem::energy

@@ -1,0 +1,112 @@
+// Tests for the pending-event set: ordering, FIFO ties, cancellation.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace caem::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(3.0, [&](double) { fired.push_back(3); });
+  queue.schedule(1.0, [&](double) { fired.push_back(1); });
+  queue.schedule(2.0, [&](double) { fired.push_back(2); });
+  while (!queue.empty()) {
+    auto event = queue.pop();
+    event.callback(event.time_s);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForEqualTimes) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 20; ++i) {
+    queue.schedule(5.0, [&fired, i](double) { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    auto event = queue.pop();
+    event.callback(event.time_s);
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const EventId id = queue.schedule(1.0, [&](double) { ran = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.cancel(id));  // double cancel fails
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelInvalidIds) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(kInvalidEventId));
+  EXPECT_FALSE(queue.cancel(12345));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId first = queue.schedule(1.0, [](double) {});
+  queue.schedule(2.0, [](double) {});
+  queue.cancel(first);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, PopSkipsCancelled) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1.0, [](double) {});
+  queue.schedule(2.0, [](double) {});
+  queue.cancel(a);
+  const auto event = queue.pop();
+  EXPECT_DOUBLE_EQ(event.time_s, 2.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EmptyThrows) {
+  EventQueue queue;
+  EXPECT_THROW(queue.pop(), std::out_of_range);
+  EXPECT_THROW(queue.next_time(), std::out_of_range);
+}
+
+TEST(EventQueue, RejectsBadArguments) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(std::nan(""), [](double) {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue queue;
+  for (int i = 0; i < 10; ++i) queue.schedule(i, [](double) {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, StressInterleavedScheduleCancelPop) {
+  EventQueue queue;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(queue.schedule(static_cast<double>(i % 97), [](double) {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) queue.cancel(ids[i]);
+  double last = -1.0;
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    const auto event = queue.pop();
+    EXPECT_GE(event.time_s, last);
+    last = event.time_s;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 1000u - (1000u + 2) / 3);
+}
+
+}  // namespace
+}  // namespace caem::sim

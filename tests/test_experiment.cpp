@@ -1,0 +1,77 @@
+// Tests for the parallel experiment runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/experiment.hpp"
+
+namespace caem::core {
+namespace {
+
+NetworkConfig tiny_config() {
+  NetworkConfig config;
+  config.node_count = 10;
+  config.field_size_m = 40.0;
+  config.ch_fraction = 0.2;
+  config.round_duration_s = 5.0;
+  config.traffic_rate_pps = 3.0;
+  return config;
+}
+
+TEST(ParallelRuns, PreservesIndexOrder) {
+  std::atomic<int> executed{0};
+  const auto results = parallel_runs(
+      8,
+      [&](std::size_t i) {
+        ++executed;
+        RunResult result;
+        result.seed = i;
+        return result;
+      },
+      3);
+  EXPECT_EQ(executed.load(), 8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(results[i].seed, i);
+}
+
+TEST(ParallelRuns, EmptyAndErrors) {
+  EXPECT_TRUE(parallel_runs(0, [](std::size_t) { return RunResult{}; }).empty());
+  EXPECT_THROW(parallel_runs(1, nullptr), std::invalid_argument);
+  EXPECT_THROW(parallel_runs(
+                   4, [](std::size_t i) -> RunResult {
+                     if (i == 2) throw std::runtime_error("boom");
+                     return RunResult{};
+                   }),
+               std::runtime_error);
+}
+
+TEST(ParallelRuns, MatchesSequentialSimulation) {
+  RunOptions options;
+  options.max_sim_s = 10.0;
+  const NetworkConfig config = tiny_config();
+  const RunResult sequential = SimulationRunner::run(config, Protocol::kCaemScheme1, 5, options);
+  const auto parallel = parallel_runs(
+      3,
+      [&](std::size_t i) {
+        return SimulationRunner::run(config, Protocol::kCaemScheme1, 5 + i, options);
+      },
+      3);
+  EXPECT_EQ(parallel[0].generated, sequential.generated);
+  EXPECT_DOUBLE_EQ(parallel[0].total_consumed_j, sequential.total_consumed_j);
+}
+
+TEST(RunReplicated, FoldsScalars) {
+  RunOptions options;
+  options.max_sim_s = 10.0;
+  const Replicated summary =
+      run_replicated(tiny_config(), Protocol::kPureLeach, 100, 3, options, 3);
+  EXPECT_EQ(summary.runs.size(), 3u);
+  EXPECT_EQ(summary.delivery_rate.count(), 3u);
+  EXPECT_GT(summary.total_consumed_j.mean(), 0.0);
+  // Lifetime not reached inside the horizon folds as the horizon.
+  EXPECT_NEAR(summary.lifetime_s.mean(), 10.0, 1e-9);
+  // Replications use distinct seeds.
+  EXPECT_NE(summary.runs[0].generated, summary.runs[1].generated);
+}
+
+}  // namespace
+}  // namespace caem::core

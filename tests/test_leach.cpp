@@ -1,0 +1,148 @@
+// Tests for LEACH election and cluster formation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "leach/cluster.hpp"
+#include "leach/election.hpp"
+#include "leach/round_manager.hpp"
+
+namespace caem::leach {
+namespace {
+
+TEST(ElectionThreshold, FormulaValues) {
+  // T = P / (1 - P (r mod 1/P)); P = 0.05.
+  EXPECT_NEAR(election_threshold(0.05, 0), 0.05, 1e-12);
+  EXPECT_NEAR(election_threshold(0.05, 10), 0.05 / (1 - 0.05 * 10), 1e-12);
+  EXPECT_NEAR(election_threshold(0.05, 19), 1.0, 1e-9);  // last round: certain
+  EXPECT_NEAR(election_threshold(0.05, 20), 0.05, 1e-12);  // epoch wraps
+  EXPECT_EQ(epoch_length(0.05), 20u);
+  EXPECT_EQ(epoch_length(0.1), 10u);
+  EXPECT_THROW(election_threshold(0.0, 0), std::invalid_argument);
+  EXPECT_THROW(epoch_length(1.5), std::invalid_argument);
+}
+
+TEST(Election, EveryoneServesExactlyOncePerEpoch) {
+  const std::size_t n = 100;
+  Election election(n, 0.05);
+  util::Rng rng(123);
+  const std::vector<bool> alive(n, true);
+  std::vector<int> times_served(n, 0);
+  for (std::uint32_t round = 0; round < epoch_length(0.05); ++round) {
+    const auto heads = election.elect(alive, rng);
+    for (std::size_t i = 0; i < n; ++i) times_served[i] += heads[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(times_served[i], 1) << "node " << i;
+  }
+}
+
+TEST(Election, ExpectedHeadCountNearNP) {
+  const std::size_t n = 100;
+  Election election(n, 0.05);
+  util::Rng rng(7);
+  const std::vector<bool> alive(n, true);
+  double total_heads = 0.0;
+  const int epochs = 50;
+  for (int e = 0; e < epochs; ++e) {
+    for (std::uint32_t round = 0; round < 20; ++round) {
+      const auto heads = election.elect(alive, rng);
+      total_heads += std::accumulate(heads.begin(), heads.end(), 0.0);
+    }
+  }
+  const double mean_per_round = total_heads / (epochs * 20.0);
+  EXPECT_NEAR(mean_per_round, 5.0, 0.5);  // N*P = 5
+}
+
+TEST(Election, DeadNodesNeverElected) {
+  const std::size_t n = 20;
+  Election election(n, 0.25);
+  util::Rng rng(5);
+  std::vector<bool> alive(n, true);
+  for (std::size_t i = 0; i < n; i += 2) alive[i] = false;
+  for (int round = 0; round < 40; ++round) {
+    const auto heads = election.elect(alive, rng);
+    for (std::size_t i = 0; i < n; i += 2) EXPECT_FALSE(heads[i]);
+  }
+}
+
+TEST(Election, AlwaysAtLeastOneHeadAmongAlive) {
+  // With tiny P, self-election often produces zero heads: the draft rule
+  // must guarantee one.
+  Election election(10, 0.01);
+  util::Rng rng(3);
+  const std::vector<bool> alive(10, true);
+  for (int round = 0; round < 100; ++round) {
+    const auto heads = election.elect(alive, rng);
+    EXPECT_GE(std::accumulate(heads.begin(), heads.end(), 0), 1);
+  }
+}
+
+TEST(Election, Validation) {
+  EXPECT_THROW(Election(0, 0.05), std::invalid_argument);
+  EXPECT_THROW(Election(10, 0.0), std::invalid_argument);
+  Election election(5, 0.2);
+  util::Rng rng(1);
+  EXPECT_THROW(election.elect(std::vector<bool>(4, true), rng), std::invalid_argument);
+}
+
+TEST(Clusters, MembersJoinNearestHead) {
+  const std::vector<channel::Vec2> positions{
+      {0, 0}, {100, 0}, {10, 0}, {90, 0}, {49, 0}};
+  const std::vector<bool> heads{true, true, false, false, false};
+  const std::vector<bool> alive(5, true);
+  const auto clusters = form_clusters(positions, heads, alive);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Cluster of head 0: members 2 (at 10) and 4 (at 49, closer to 0 than 100).
+  EXPECT_EQ(clusters[0].head, 0u);
+  EXPECT_EQ(clusters[0].members, (std::vector<std::uint32_t>{2, 4}));
+  EXPECT_EQ(clusters[1].head, 1u);
+  EXPECT_EQ(clusters[1].members, (std::vector<std::uint32_t>{3}));
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(Clusters, DeadNodesExcluded) {
+  const std::vector<channel::Vec2> positions{{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<bool> heads{true, false, false};
+  const std::vector<bool> alive{true, false, true};
+  const auto clusters = form_clusters(positions, heads, alive);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Clusters, NoAliveHeadThrows) {
+  const std::vector<channel::Vec2> positions{{0, 0}, {1, 0}};
+  EXPECT_THROW(form_clusters(positions, {true, false}, {false, true}),
+               std::invalid_argument);
+  EXPECT_THROW(form_clusters(positions, {false}, {true, true}), std::invalid_argument);
+}
+
+TEST(RoundManager, PartitionsAllAliveNodes) {
+  RoundManager manager(50, 0.1, 20.0);
+  util::Rng rng(9);
+  std::vector<channel::Vec2> positions;
+  util::Rng place(4);
+  for (int i = 0; i < 50; ++i) {
+    positions.push_back({place.uniform(0, 100), place.uniform(0, 100)});
+  }
+  const std::vector<bool> alive(50, true);
+  for (int round = 0; round < 10; ++round) {
+    const auto clusters = manager.next_round(positions, alive, rng);
+    std::size_t covered = 0;
+    for (const auto& cluster : clusters) covered += cluster.size();
+    EXPECT_EQ(covered, 50u);
+  }
+  EXPECT_EQ(manager.rounds_started(), 10u);
+}
+
+TEST(RoundManager, AllDeadThrows) {
+  RoundManager manager(3, 0.3, 20.0);
+  util::Rng rng(1);
+  EXPECT_THROW(
+      manager.next_round({{0, 0}, {1, 0}, {2, 0}}, std::vector<bool>(3, false), rng),
+      std::invalid_argument);
+  EXPECT_THROW(RoundManager(3, 0.3, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caem::leach

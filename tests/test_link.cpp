@@ -1,0 +1,131 @@
+// Tests for the composite Link and the LinkManager.
+#include <gtest/gtest.h>
+
+#include "channel/link.hpp"
+#include "channel/link_manager.hpp"
+#include "sim/rng_registry.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace caem::channel {
+namespace {
+
+TEST(NoiseFloor, ThermalPlusNf) {
+  // kTB at 290 K for 1 Hz is -174 dBm; 2 MHz adds 63 dB; NF adds 10.
+  EXPECT_NEAR(noise_floor_dbm(2e6, 10.0), -174.0 + 63.0 + 10.0, 0.2);
+  EXPECT_NEAR(noise_floor_dbm(1.0, 0.0), -174.0, 0.2);
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  sim::RngRegistry rng_{42};
+  ChannelConfig config_{};
+  LinkManager links_{config_, &rng_};
+  LinkBudget budget_{0.0, noise_floor_dbm(2e6, 10.0)};
+};
+
+TEST_F(LinkTest, SnrDecreasesWithDistanceOnAverage) {
+  const NodeId a = links_.add_static_node({0, 0});
+  const NodeId near = links_.add_static_node({10, 0});
+  const NodeId far = links_.add_static_node({60, 0});
+  util::OnlineStats near_stats, far_stats;
+  for (int i = 0; i < 2000; ++i) {
+    near_stats.add(links_.snr_db(a, near, i * 0.5, budget_));
+    far_stats.add(links_.snr_db(a, far, i * 0.5, budget_));
+  }
+  EXPECT_GT(near_stats.mean(), far_stats.mean() + 15.0);  // ~23 dB at n=3
+}
+
+TEST_F(LinkTest, MeanSnrMatchesLinkBudget) {
+  // At 10 m, n=3, ref 40 dB: PL = 70 dB; mean fading gain 1 (0 dB),
+  // mean shadowing 0 dB -> mean *linear* SNR corresponds to 0 - 70 -
+  // noise_floor.  Compare in the linear domain (dB average of a fading
+  // channel is biased low by Jensen).
+  const NodeId a = links_.add_static_node({0, 0});
+  const NodeId b = links_.add_static_node({10, 0});
+  util::OnlineStats linear;
+  for (int i = 0; i < 20000; ++i) {
+    linear.add(util::db_to_linear(links_.snr_db(a, b, i * 0.7, budget_)));
+  }
+  const double expected_db = 0.0 - 70.0 - budget_.noise_floor_dbm;
+  // Lognormal shadowing with sigma 4 dB inflates the linear mean by
+  // exp((sigma*ln10/10)^2/2) ~ +1.84 dB.
+  const double sigma_n = config_.shadowing_sigma_db * std::log(10.0) / 10.0;
+  const double shadow_bias_db = 10.0 * std::log10(std::exp(sigma_n * sigma_n / 2.0));
+  EXPECT_NEAR(util::linear_to_db(linear.mean()), expected_db + shadow_bias_db, 1.0);
+}
+
+TEST_F(LinkTest, Reciprocity) {
+  const NodeId a = links_.add_static_node({0, 0});
+  const NodeId b = links_.add_static_node({25, 7});
+  Link& ab = links_.link(a, b);
+  Link& ba = links_.link(b, a);
+  EXPECT_EQ(&ab, &ba);  // one shared process: G_ab == G_ba by construction
+  EXPECT_EQ(links_.live_link_count(), 1u);
+}
+
+TEST_F(LinkTest, DistinctPairsDistinctProcesses) {
+  const NodeId a = links_.add_static_node({0, 0});
+  const NodeId b = links_.add_static_node({20, 0});
+  const NodeId c = links_.add_static_node({0, 20});
+  // Same distance, but independent fading -> different instantaneous SNR.
+  const double ab = links_.snr_db(a, b, 1.0, budget_);
+  const double ac = links_.snr_db(a, c, 1.0, budget_);
+  EXPECT_NE(ab, ac);
+  EXPECT_EQ(links_.live_link_count(), 2u);
+}
+
+TEST_F(LinkTest, DistanceTracked) {
+  const NodeId a = links_.add_static_node({0, 0});
+  const NodeId b = links_.add_static_node({30, 40});
+  EXPECT_DOUBLE_EQ(links_.link(a, b).distance_m_at(0.0), 50.0);
+}
+
+TEST_F(LinkTest, Validation) {
+  const NodeId a = links_.add_static_node({0, 0});
+  EXPECT_THROW(links_.link(a, a), std::invalid_argument);
+  EXPECT_THROW(links_.link(a, 999), std::invalid_argument);
+  EXPECT_THROW(links_.add_node(nullptr), std::invalid_argument);
+}
+
+TEST_F(LinkTest, DeterministicAcrossManagers) {
+  sim::RngRegistry rng_b(42);
+  LinkManager other(config_, &rng_b);
+  const NodeId a1 = links_.add_static_node({0, 0});
+  const NodeId b1 = links_.add_static_node({15, 0});
+  const NodeId a2 = other.add_static_node({0, 0});
+  const NodeId b2 = other.add_static_node({15, 0});
+  for (double t = 0.0; t < 5.0; t += 0.7) {
+    EXPECT_EQ(links_.snr_db(a1, b1, t, budget_), other.snr_db(a2, b2, t, budget_));
+  }
+}
+
+TEST(LinkManagerKinds, AllFadingKindsConstruct) {
+  sim::RngRegistry rng(1);
+  for (const FadingKind kind :
+       {FadingKind::kJakesRayleigh, FadingKind::kRician, FadingKind::kBlock}) {
+    ChannelConfig config;
+    config.fading_kind = kind;
+    LinkManager links(config, &rng);
+    const NodeId a = links.add_static_node({0, 0});
+    const NodeId b = links.add_static_node({10, 0});
+    const LinkBudget budget{0.0, -101.0};
+    EXPECT_TRUE(std::isfinite(links.snr_db(a, b, 1.0, budget)));
+  }
+}
+
+TEST(LinkDirect, DeepFadeStaysFinite) {
+  // The fading floor guarantees a finite (very negative) gain.
+  sim::RngRegistry rng(9);
+  ChannelConfig config;
+  LinkManager links(config, &rng);
+  const NodeId a = links.add_static_node({0, 0});
+  const NodeId b = links.add_static_node({80, 0});
+  const LinkBudget budget{0.0, -101.0};
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(std::isfinite(links.snr_db(a, b, i * 0.01, budget)));
+  }
+}
+
+}  // namespace
+}  // namespace caem::channel

@@ -1,0 +1,129 @@
+// Tests for the metrics module.
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hpp"
+#include "metrics/fairness.hpp"
+#include "metrics/lifetime.hpp"
+
+namespace caem::metrics {
+namespace {
+
+queueing::Packet packet_at(double created_s) {
+  queueing::Packet packet;
+  packet.created_s = created_s;
+  return packet;
+}
+
+TEST(Collector, TrafficAccounting) {
+  MetricsCollector metrics(10);
+  metrics.record_generated(0, 1.0);
+  metrics.record_generated(1, 1.5);
+  metrics.record_generated(2, 2.0);
+  metrics.record_delivered(packet_at(1.0), 3, 1.4);
+  metrics.record_self_delivered(packet_at(1.5), 1.5);
+  metrics.record_drop(packet_at(2.0), queueing::DropReason::kBufferOverflow, 2.0);
+  EXPECT_EQ(metrics.generated(), 3u);
+  EXPECT_EQ(metrics.delivered(), 1u);
+  EXPECT_EQ(metrics.self_delivered(), 1u);
+  EXPECT_EQ(metrics.delivered_total(), 2u);
+  EXPECT_EQ(metrics.dropped(queueing::DropReason::kBufferOverflow), 1u);
+  EXPECT_EQ(metrics.dropped_total(), 1u);
+  EXPECT_NEAR(metrics.delivery_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(metrics.delivered_at_mode(3), 1u);
+  EXPECT_NEAR(metrics.delays().mean(), 0.4, 1e-12);
+}
+
+TEST(Collector, ThroughputFromDeliveredBits) {
+  MetricsCollector metrics(2);
+  for (int i = 0; i < 10; ++i) metrics.record_delivered(packet_at(0.0), 0, 1.0);
+  EXPECT_NEAR(metrics.aggregate_throughput_bps(10.0), 10 * 2048.0 / 10.0, 1e-9);
+  EXPECT_EQ(metrics.aggregate_throughput_bps(0.0), 0.0);
+}
+
+TEST(Collector, DeathTracking) {
+  MetricsCollector metrics(3);
+  EXPECT_EQ(metrics.alive_count(), 3u);
+  metrics.record_node_death(1, 10.0);
+  metrics.record_node_death(1, 11.0);  // duplicate ignored
+  EXPECT_EQ(metrics.alive_count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.death_times()[1], 10.0);
+  EXPECT_LT(metrics.death_times()[0], 0.0);
+}
+
+TEST(Collector, EnergySnapshots) {
+  MetricsCollector metrics(2);
+  metrics.snapshot_energy(0.0, {10.0, 10.0});
+  metrics.snapshot_energy(5.0, {8.0, 6.0});
+  EXPECT_DOUBLE_EQ(metrics.avg_remaining_energy().value_at(5.0), 7.0);
+  EXPECT_DOUBLE_EQ(metrics.avg_remaining_energy().value_at(0.0), 10.0);
+}
+
+TEST(Collector, EmptyDeliveryRateIsOne) {
+  MetricsCollector metrics(1);
+  EXPECT_DOUBLE_EQ(metrics.delivery_rate(), 1.0);
+  EXPECT_THROW(MetricsCollector(0), std::invalid_argument);
+}
+
+TEST(Lifetime, ReportFromDeathTimes) {
+  // 10 nodes; deaths at 100..400 for four of them.
+  std::vector<double> deaths(10, -1.0);
+  deaths[0] = 100.0;
+  deaths[3] = 200.0;
+  deaths[5] = 300.0;
+  deaths[9] = 400.0;
+  const LifetimeReport report = lifetime_from_death_times(deaths, 0.2);
+  EXPECT_DOUBLE_EQ(report.first_death_s, 100.0);
+  EXPECT_DOUBLE_EQ(report.network_death_s, 200.0);  // 20% of 10 = 2nd death
+  EXPECT_LT(report.last_death_s, 0.0);              // survivors remain
+  EXPECT_EQ(report.deaths, 4u);
+}
+
+TEST(Lifetime, ThresholdNotReached) {
+  std::vector<double> deaths(10, -1.0);
+  deaths[0] = 50.0;
+  const LifetimeReport report = lifetime_from_death_times(deaths, 0.2);
+  EXPECT_DOUBLE_EQ(report.first_death_s, 50.0);
+  EXPECT_LT(report.network_death_s, 0.0);
+}
+
+TEST(Lifetime, AllDead) {
+  const std::vector<double> deaths{3.0, 1.0, 2.0};
+  const LifetimeReport report = lifetime_from_death_times(deaths, 1.0);
+  EXPECT_DOUBLE_EQ(report.network_death_s, 3.0);
+  EXPECT_DOUBLE_EQ(report.last_death_s, 3.0);
+}
+
+TEST(Lifetime, Validation) {
+  EXPECT_THROW(lifetime_from_death_times({}, 0.2), std::invalid_argument);
+  EXPECT_THROW(lifetime_from_death_times({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Lifetime, AliveSeriesSteps) {
+  const std::vector<double> deaths{10.0, -1.0, 5.0};
+  const util::TimeSeries series = alive_series(deaths, 20.0);
+  EXPECT_DOUBLE_EQ(series.step_value_at(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(series.step_value_at(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(series.step_value_at(9.9), 2.0);
+  EXPECT_DOUBLE_EQ(series.step_value_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(series.step_value_at(20.0), 1.0);
+}
+
+TEST(Fairness, TrackerAveragesSnapshotStddev) {
+  FairnessTracker tracker;
+  tracker.add_snapshot({1.0, 3.0});        // stddev 1
+  tracker.add_snapshot({2.0, 2.0, 2.0});   // stddev 0
+  tracker.add_snapshot({});                // ignored
+  EXPECT_EQ(tracker.snapshots(), 2u);
+  EXPECT_NEAR(tracker.mean_queue_stddev(), 0.5, 1e-12);
+  EXPECT_NEAR(tracker.max_queue_stddev(), 1.0, 1e-12);
+}
+
+TEST(Fairness, JainIndex) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+  EXPECT_NEAR(jain_index({1, 0, 0, 0}), 0.25, 1e-12);  // maximally unfair
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace caem::metrics

@@ -1,0 +1,74 @@
+// Tests for mobility models.
+#include <gtest/gtest.h>
+
+#include "channel/mobility.hpp"
+
+namespace caem::channel {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  const Vec2 b = a + Vec2{1.0, -1.0};
+  EXPECT_DOUBLE_EQ(b.x, 4.0);
+  EXPECT_DOUBLE_EQ(b.y, 3.0);
+  EXPECT_DOUBLE_EQ(distance_m({0, 0}, {3, 4}), 5.0);
+  const Vec2 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.x, 6.0);
+}
+
+TEST(StaticPosition, NeverMoves) {
+  StaticPosition node({10.0, 20.0});
+  for (double t = 0.0; t < 100.0; t += 7.0) {
+    const Vec2 p = node.position_at(t);
+    EXPECT_DOUBLE_EQ(p.x, 10.0);
+    EXPECT_DOUBLE_EQ(p.y, 20.0);
+  }
+}
+
+TEST(RandomWaypoint, StaysInsideField) {
+  RandomWaypoint node({0, 0}, {100, 50}, 0.5, 1.0, 2.0, util::Rng(3));
+  for (double t = 0.0; t < 500.0; t += 0.5) {
+    const Vec2 p = node.position_at(t);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+}
+
+TEST(RandomWaypoint, SpeedRespectsBounds) {
+  RandomWaypoint node({0, 0}, {100, 100}, 0.5, 1.0, 0.0, util::Rng(4));
+  const double dt = 0.1;
+  Vec2 previous = node.position_at(0.0);
+  for (double t = dt; t < 200.0; t += dt) {
+    const Vec2 current = node.position_at(t);
+    const double speed = distance_m(previous, current) / dt;
+    EXPECT_LE(speed, 1.0 + 1e-6);  // never faster than max
+    previous = current;
+  }
+}
+
+TEST(RandomWaypoint, ContinuousPath) {
+  RandomWaypoint node({0, 0}, {100, 100}, 0.5, 1.0, 1.0, util::Rng(5));
+  Vec2 previous = node.position_at(0.0);
+  for (double t = 0.01; t < 100.0; t += 0.01) {
+    const Vec2 current = node.position_at(t);
+    EXPECT_LT(distance_m(previous, current), 0.05);  // <= vmax * dt + eps
+    previous = current;
+  }
+}
+
+TEST(RandomWaypoint, Validation) {
+  EXPECT_THROW(RandomWaypoint({0, 0}, {0, 0}, 0.5, 1.0, 0.0, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint({0, 0}, {1, 1}, 0.0, 1.0, 0.0, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint({0, 0}, {1, 1}, 2.0, 1.0, 0.0, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint({0, 0}, {1, 1}, 0.5, 1.0, -1.0, util::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caem::channel

@@ -1,0 +1,100 @@
+// Tests for modulation BER curves and the coding model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/coding.hpp"
+#include "phy/modulation.hpp"
+#include "util/units.hpp"
+
+namespace caem::phy {
+namespace {
+
+TEST(QFunction, KnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.158655, 1e-5);
+  EXPECT_NEAR(q_function(3.0), 0.001350, 1e-5);
+  EXPECT_NEAR(q_function(-1.0), 1.0 - 0.158655, 1e-5);
+}
+
+TEST(BitsPerSymbol, AllSchemes) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6u);
+}
+
+TEST(Ber, BpskKnownPoint) {
+  // BPSK at Eb/N0 = 9.6 dB gives BER ~ 1e-5 (classic reference point).
+  const double ber = bit_error_rate_db(Modulation::kBpsk, 9.6);
+  EXPECT_GT(ber, 3e-6);
+  EXPECT_LT(ber, 3e-5);
+}
+
+TEST(Ber, QpskEqualsBpskPerBit) {
+  for (double db = 0.0; db <= 12.0; db += 1.5) {
+    EXPECT_DOUBLE_EQ(bit_error_rate_db(Modulation::kBpsk, db),
+                     bit_error_rate_db(Modulation::kQpsk, db));
+  }
+}
+
+class BerMonotonicity : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(BerMonotonicity, DecreasesWithSnr) {
+  double previous = 1.0;
+  for (double db = -10.0; db <= 30.0; db += 0.5) {
+    const double ber = bit_error_rate_db(GetParam(), db);
+    EXPECT_LE(ber, previous + 1e-15);
+    EXPECT_GE(ber, 0.0);
+    EXPECT_LE(ber, 0.5);
+    previous = ber;
+  }
+}
+
+TEST_P(BerMonotonicity, HigherOrderIsWorseAtSameSnr) {
+  // At any fixed Eb/N0, denser constellations cannot beat BPSK.
+  const double db = 8.0;
+  EXPECT_GE(bit_error_rate_db(GetParam(), db), bit_error_rate_db(Modulation::kBpsk, db) - 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, BerMonotonicity,
+                         ::testing::Values(Modulation::kBpsk, Modulation::kQpsk,
+                                           Modulation::kQam16, Modulation::kQam64));
+
+TEST(Ber, NonPositiveSnrIsHalf) {
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kBpsk, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kQam16, -1.0), 0.5);
+}
+
+TEST(ToString, Names) {
+  EXPECT_EQ(to_string(Modulation::kBpsk), "BPSK");
+  EXPECT_EQ(to_string(Modulation::kQam64), "64-QAM");
+}
+
+TEST(Coding, LibraryRatesAndGains) {
+  EXPECT_DOUBLE_EQ(code_rate_half().rate, 0.5);
+  EXPECT_GT(code_rate_half().coding_gain_db, code_rate_two_thirds().coding_gain_db);
+  EXPECT_GT(code_rate_two_thirds().coding_gain_db,
+            code_rate_three_quarters().coding_gain_db);
+  EXPECT_DOUBLE_EQ(uncoded().rate, 1.0);
+  EXPECT_DOUBLE_EQ(uncoded().coding_gain_db, 0.0);
+}
+
+TEST(Coding, EffectiveSnrAndExpansion) {
+  const CodeSpec half = code_rate_half();
+  EXPECT_DOUBLE_EQ(effective_snr_db(10.0, half), 10.0 + half.coding_gain_db);
+  EXPECT_DOUBLE_EQ(coded_bits(1000.0, half), 2000.0);
+  EXPECT_DOUBLE_EQ(coded_bits(900.0, code_rate_three_quarters()), 1200.0);
+}
+
+TEST(Units, DbRoundTrip) {
+  using namespace caem::util;
+  for (double db = -40.0; db <= 40.0; db += 7.3) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(1e-3), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace caem::phy

@@ -1,0 +1,180 @@
+// End-to-end integration and property tests on the full network.
+// Small networks and short horizons keep each test under a second.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "core/simulation_runner.hpp"
+
+namespace caem::core {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig config;
+  config.node_count = 20;
+  config.field_size_m = 60.0;
+  config.ch_fraction = 0.15;
+  config.round_duration_s = 5.0;
+  config.traffic_rate_pps = 4.0;
+  return config;
+}
+
+TEST(Network, RunsAndDeliversPackets) {
+  Network network(small_config(), Protocol::kPureLeach, 1);
+  network.start();
+  network.simulator().run_until(30.0);
+  network.finalize();
+  const auto& metrics = network.metrics();
+  EXPECT_GT(metrics.generated(), 1500u);  // ~20*4*30
+  EXPECT_GT(metrics.delivered_total(), metrics.generated() / 2);
+  EXPECT_GT(network.rounds_started(), 4u);
+}
+
+class ProtocolParam : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolParam, PacketConservation) {
+  Network network(small_config(), GetParam(), 3);
+  network.start();
+  network.simulator().run_until(25.0);
+  network.finalize();
+  const auto& metrics = network.metrics();
+  // Every generated packet is delivered, dropped, or still queued.
+  std::uint64_t queued = 0;
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    queued += network.node(i).queue().size();
+  }
+  EXPECT_EQ(metrics.generated(),
+            metrics.delivered_total() + metrics.dropped_total() + queued);
+}
+
+TEST_P(ProtocolParam, EnergyConservation) {
+  Network network(small_config(), GetParam(), 4);
+  network.start();
+  network.simulator().run_until(20.0);
+  network.finalize();
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    const Node& node = network.node(i);
+    // Battery drop == itemised ledger total, exactly.
+    EXPECT_NEAR(node.battery().consumed_j(), node.ledger().total(), 1e-9) << "node " << i;
+    EXPECT_GE(node.battery().remaining_j(), 0.0);
+    EXPECT_LE(node.battery().consumed_j(), node.battery().capacity_j() + 1e-12);
+  }
+}
+
+TEST_P(ProtocolParam, DelaysArePositiveAndDeliveryRateBounded) {
+  Network network(small_config(), GetParam(), 5);
+  network.start();
+  network.simulator().run_until(25.0);
+  network.finalize();
+  const auto& metrics = network.metrics();
+  EXPECT_GE(metrics.delivery_rate(), 0.0);
+  EXPECT_LE(metrics.delivery_rate(), 1.0);
+  for (const double delay : metrics.delays().values()) EXPECT_GT(delay, 0.0);
+}
+
+TEST_P(ProtocolParam, DeterministicForSameSeed) {
+  const auto run = [&](std::uint64_t seed) {
+    RunOptions options;
+    options.max_sim_s = 15.0;
+    return SimulationRunner::run(small_config(), GetParam(), seed, options);
+  };
+  const RunResult a = run(77);
+  const RunResult b = run(77);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered_air, b.delivered_air);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_DOUBLE_EQ(a.total_consumed_j, b.total_consumed_j);
+  const RunResult c = run(78);
+  EXPECT_NE(a.generated, c.generated);  // different seed, different draws
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolParam,
+                         ::testing::Values(Protocol::kPureLeach, Protocol::kCaemScheme1,
+                                           Protocol::kCaemScheme2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Protocol::kPureLeach: return "PureLeach";
+                             case Protocol::kCaemScheme1: return "Scheme1";
+                             case Protocol::kCaemScheme2: return "Scheme2";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Network, CaemSavesEnergyVersusPureLeach) {
+  // The paper's headline, as a regression gate on a small instance.
+  RunOptions options;
+  options.max_sim_s = 40.0;
+  const NetworkConfig config = small_config();
+  const RunResult leach = SimulationRunner::run(config, Protocol::kPureLeach, 11, options);
+  const RunResult s1 = SimulationRunner::run(config, Protocol::kCaemScheme1, 11, options);
+  const RunResult s2 = SimulationRunner::run(config, Protocol::kCaemScheme2, 11, options);
+  EXPECT_LT(s2.total_consumed_j, leach.total_consumed_j);
+  EXPECT_LT(s1.total_consumed_j, leach.total_consumed_j);
+  EXPECT_LT(s2.energy_per_delivered_packet_j, leach.energy_per_delivered_packet_j * 0.8);
+}
+
+TEST(Network, NodesDieAndNetworkStops) {
+  NetworkConfig config = small_config();
+  config.initial_energy_j = 0.15;  // tiny batteries: deaths within seconds
+  RunOptions options;
+  options.max_sim_s = 300.0;
+  options.run_to_death = true;
+  const RunResult result = SimulationRunner::run(config, Protocol::kPureLeach, 6, options);
+  EXPECT_EQ(result.final_alive, 0u);
+  EXPECT_GE(result.lifetime.first_death_s, 0.0);
+  EXPECT_GE(result.lifetime.network_death_s, result.lifetime.first_death_s);
+  EXPECT_GE(result.lifetime.last_death_s, result.lifetime.network_death_s);
+  EXPECT_LT(result.sim_end_s, 300.0);  // stopped at extinction, not horizon
+  // Dead nodes dropped their queues; conservation still holds.
+  EXPECT_EQ(result.generated, result.delivered_air + result.delivered_self +
+                                  result.dropped_overflow + result.dropped_retry +
+                                  result.dropped_death);
+}
+
+TEST(Network, AliveSeriesMonotoneNonIncreasing) {
+  NetworkConfig config = small_config();
+  config.initial_energy_j = 0.2;
+  RunOptions options;
+  options.max_sim_s = 200.0;
+  options.run_to_death = true;
+  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 8, options);
+  double previous = static_cast<double>(config.node_count);
+  for (const auto& point : result.nodes_alive.points()) {
+    EXPECT_LE(point.value, previous + 1e-12);
+    previous = point.value;
+  }
+}
+
+TEST(Network, RemainingEnergyTraceMonotoneNonIncreasing) {
+  Network network(small_config(), Protocol::kCaemScheme2, 9);
+  network.start();
+  network.simulator().run_until(30.0);
+  network.finalize();
+  double previous = 1e18;
+  for (const auto& point : network.metrics().avg_remaining_energy().points()) {
+    EXPECT_LE(point.value, previous + 1e-9);
+    previous = point.value;
+  }
+}
+
+TEST(Network, StartTwiceThrows) {
+  Network network(small_config(), Protocol::kPureLeach, 1);
+  network.start();
+  EXPECT_THROW(network.start(), std::logic_error);
+}
+
+TEST(Network, SchemeTwoStarvesFarNodesWithoutAdaptation) {
+  // Fairness claim (Fig 12): fixed-threshold queues are more dispersed
+  // than adaptive-threshold queues under identical load.
+  NetworkConfig config = small_config();
+  config.traffic_rate_pps = 8.0;
+  config.buffer_capacity = 500;  // paper: large buffers for the fairness study
+  RunOptions options;
+  options.max_sim_s = 60.0;
+  const RunResult fixed = SimulationRunner::run(config, Protocol::kCaemScheme2, 21, options);
+  const RunResult adaptive =
+      SimulationRunner::run(config, Protocol::kCaemScheme1, 21, options);
+  EXPECT_GT(fixed.mean_queue_stddev, adaptive.mean_queue_stddev);
+}
+
+}  // namespace
+}  // namespace caem::core

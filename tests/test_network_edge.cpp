@@ -1,0 +1,208 @@
+// Edge-case and failure-injection tests on the full network: CH death
+// mid-round, tiny buffers, deep saturation, single-cluster topologies,
+// and fading-model variants end to end.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "core/simulation_runner.hpp"
+
+namespace caem::core {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig config;
+  config.node_count = 20;
+  config.field_size_m = 60.0;
+  config.ch_fraction = 0.15;
+  config.round_duration_s = 5.0;
+  config.traffic_rate_pps = 4.0;
+  return config;
+}
+
+TEST(NetworkEdge, ChDeathMidRoundIsSurvivable) {
+  // Tiny batteries make CHs die in office constantly; the network must
+  // keep conservation and never crash.
+  NetworkConfig config = small_config();
+  config.initial_energy_j = 0.08;
+  RunOptions options;
+  options.max_sim_s = 200.0;
+  options.run_to_death = true;
+  for (const Protocol protocol : kAllProtocols) {
+    const RunResult result = SimulationRunner::run(config, protocol, 17, options);
+    EXPECT_EQ(result.final_alive, 0u) << to_string(protocol);
+    EXPECT_EQ(result.generated, result.delivered_air + result.delivered_self +
+                                    result.dropped_overflow + result.dropped_retry +
+                                    result.dropped_death)
+        << to_string(protocol);
+  }
+}
+
+TEST(NetworkEdge, TinyBufferOverflowsAccounted) {
+  NetworkConfig config = small_config();
+  config.buffer_capacity = 2;
+  config.traffic_rate_pps = 12.0;
+  RunOptions options;
+  options.max_sim_s = 30.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme2, 19, options);
+  EXPECT_GT(result.dropped_overflow, 0u);
+  EXPECT_LE(result.delivery_rate, 1.0);
+}
+
+TEST(NetworkEdge, DeepSaturationStaysConsistent) {
+  NetworkConfig config = small_config();
+  config.traffic_rate_pps = 50.0;  // far beyond channel capacity
+  config.initial_energy_j = 1e6;
+  RunOptions options;
+  options.max_sim_s = 20.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kPureLeach, 23, options);
+  EXPECT_LT(result.delivery_rate, 0.9);  // must be visibly saturated
+  EXPECT_GT(result.delivered_air, 0u);
+}
+
+TEST(NetworkEdge, SingleClusterTopology) {
+  // ch_fraction so small that the draft rule creates exactly one CH.
+  NetworkConfig config = small_config();
+  config.node_count = 8;
+  config.ch_fraction = 0.01;
+  RunOptions options;
+  options.max_sim_s = 20.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 29, options);
+  EXPECT_GT(result.delivered_air, 0u);
+}
+
+TEST(NetworkEdge, TwoNodeNetwork) {
+  NetworkConfig config = small_config();
+  config.node_count = 2;
+  config.ch_fraction = 0.5;
+  RunOptions options;
+  options.max_sim_s = 20.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kPureLeach, 3, options);
+  // One CH + one sensor per round; traffic flows.
+  EXPECT_GT(result.delivered_air + result.delivered_self, 0u);
+}
+
+class FadingKindParam : public ::testing::TestWithParam<channel::FadingKind> {};
+
+TEST_P(FadingKindParam, EndToEndUnderEachFadingFamily) {
+  NetworkConfig config = small_config();
+  config.channel.fading_kind = GetParam();
+  RunOptions options;
+  options.max_sim_s = 15.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 37, options);
+  EXPECT_GT(result.delivered_air, 0u);
+  EXPECT_GT(result.delivery_rate, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FadingKindParam,
+                         ::testing::Values(channel::FadingKind::kJakesRayleigh,
+                                           channel::FadingKind::kRician,
+                                           channel::FadingKind::kBlock),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case channel::FadingKind::kJakesRayleigh: return "Jakes";
+                             case channel::FadingKind::kRician: return "Rician";
+                             case channel::FadingKind::kBlock: return "Block";
+                           }
+                           return "Unknown";
+                         });
+
+class LoadParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadParam, ConservationAcrossLoads) {
+  NetworkConfig config = small_config();
+  config.traffic_rate_pps = GetParam();
+  RunOptions options;
+  options.max_sim_s = 15.0;
+  Network network(config, Protocol::kCaemScheme1, 41);
+  network.start();
+  network.simulator().run_until(options.max_sim_s);
+  network.finalize();
+  std::uint64_t queued = 0;
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    queued += network.node(i).queue().size();
+  }
+  const auto& metrics = network.metrics();
+  EXPECT_EQ(metrics.generated(),
+            metrics.delivered_total() + metrics.dropped_total() + queued);
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    EXPECT_NEAR(network.node(i).battery().consumed_j(), network.node(i).ledger().total(),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadParam, ::testing::Values(1.0, 5.0, 15.0, 40.0));
+
+TEST(NetworkEdge, BurstTrafficEndToEnd) {
+  NetworkConfig config = small_config();
+  config.traffic_kind = "burst";
+  config.traffic_rate_pps = 8.0;
+  RunOptions options;
+  options.max_sim_s = 30.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 43, options);
+  EXPECT_GT(result.delivered_air, 0u);
+  EXPECT_GT(result.generated, 100u);
+}
+
+TEST(NetworkEdge, HighDopplerAndHighShadowing) {
+  NetworkConfig config = small_config();
+  config.channel.doppler_hz = 50.0;
+  config.channel.shadowing_sigma_db = 10.0;
+  RunOptions options;
+  options.max_sim_s = 15.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 47, options);
+  // A brutal channel degrades service but must not break accounting.
+  EXPECT_LE(result.delivery_rate, 1.0);
+  EXPECT_GE(result.delivery_rate, 0.0);
+}
+
+TEST(NetworkEdge, ZeroCsiNoiseAndLargeNoise) {
+  for (const double noise : {0.0, 4.0}) {
+    NetworkConfig config = small_config();
+    config.csi_noise_db = noise;
+    RunOptions options;
+    options.max_sim_s = 15.0;
+    const RunResult result =
+        SimulationRunner::run(config, Protocol::kCaemScheme2, 53, options);
+    EXPECT_GT(result.delivered_air + result.delivered_self, 0u) << "noise=" << noise;
+  }
+}
+
+TEST(NetworkEdge, WaypointMobilityEndToEnd) {
+  // The paper's "low mobility (< 1 m/s)" regime: clusters re-form from
+  // the instantaneous positions each round; everything keeps working.
+  NetworkConfig config = small_config();
+  config.mobility_kind = "waypoint";
+  config.mobility_max_speed_mps = 1.0;
+  RunOptions options;
+  options.max_sim_s = 25.0;
+  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 61, options);
+  EXPECT_GT(result.delivered_air, 0u);
+  EXPECT_GT(result.delivery_rate, 0.3);
+  // Delivered + dropped can never exceed generated (the rest is queued).
+  EXPECT_LE(result.delivered_air + result.delivered_self + result.dropped_overflow +
+                result.dropped_retry + result.dropped_death,
+            result.generated);
+}
+
+TEST(NetworkEdge, MobilityValidation) {
+  NetworkConfig config = small_config();
+  config.mobility_kind = "teleport";
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.mobility_kind = "waypoint";
+  config.mobility_max_speed_mps = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(NetworkEdge, MacCountersAreCoherent) {
+  const RunOptions options{.max_sim_s = 30.0, .run_to_death = false};
+  const RunResult result =
+      SimulationRunner::run(small_config(), Protocol::kCaemScheme1, 59, options);
+  const auto& mac = result.mac;
+  EXPECT_GE(mac.bursts_started, mac.bursts_completed);
+  EXPECT_GE(mac.frames_sent, result.delivered_air);  // failures retried
+  EXPECT_EQ(mac.frames_sent - result.delivered_air, mac.frames_failed);
+  EXPECT_GE(mac.checks, mac.bursts_started);
+}
+
+}  // namespace
+}  // namespace caem::core

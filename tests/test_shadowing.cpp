@@ -1,0 +1,62 @@
+// Property tests for the Gauss-Markov shadowing process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/shadowing.hpp"
+#include "util/stats.hpp"
+
+namespace caem::channel {
+namespace {
+
+TEST(Shadowing, ZeroSigmaIsAlwaysZero) {
+  GaussMarkovShadowing shadowing(0.0, 3.0, util::Rng(1));
+  for (double t = 0.0; t < 10.0; t += 0.5) EXPECT_EQ(shadowing.value_db(t), 0.0);
+}
+
+TEST(Shadowing, MarginalMomentsMatchSigma) {
+  // Sample far apart (>> tau) so draws are nearly independent.
+  GaussMarkovShadowing shadowing(4.0, 1.0, util::Rng(7));
+  util::OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(shadowing.value_db(i * 50.0));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.15);
+  EXPECT_NEAR(stats.stddev(), 4.0, 0.15);
+}
+
+TEST(Shadowing, TemporalCorrelationDecays) {
+  // Correlation between samples dt apart should be ~exp(-dt/tau).
+  const double tau = 2.0;
+  for (const double dt : {0.5, 2.0, 6.0}) {
+    std::vector<double> first, second;
+    for (int run = 0; run < 4000; ++run) {
+      GaussMarkovShadowing shadowing(3.0, tau,
+                                     util::Rng(static_cast<std::uint64_t>(run) * 7919 + 1));
+      first.push_back(shadowing.value_db(0.0));
+      second.push_back(shadowing.value_db(dt));
+    }
+    const double expected = std::exp(-dt / tau);
+    EXPECT_NEAR(util::correlation(first, second), expected, 0.06) << "dt=" << dt;
+  }
+}
+
+TEST(Shadowing, BackwardQueriesReturnLastValue) {
+  GaussMarkovShadowing shadowing(4.0, 3.0, util::Rng(3));
+  const double at_five = shadowing.value_db(5.0);
+  EXPECT_EQ(shadowing.value_db(4.0), at_five);
+  EXPECT_EQ(shadowing.value_db(5.0), at_five);
+}
+
+TEST(Shadowing, Deterministic) {
+  GaussMarkovShadowing a(4.0, 3.0, util::Rng(11));
+  GaussMarkovShadowing b(4.0, 3.0, util::Rng(11));
+  for (double t = 0.0; t < 20.0; t += 1.3) EXPECT_EQ(a.value_db(t), b.value_db(t));
+}
+
+TEST(Shadowing, Validation) {
+  EXPECT_THROW(GaussMarkovShadowing(-1.0, 3.0, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(GaussMarkovShadowing(4.0, 0.0, util::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caem::channel

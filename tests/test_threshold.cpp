@@ -1,0 +1,118 @@
+// Tests for the threshold controller — the heart of Scheme 1 vs Scheme 2
+// vs pure LEACH (paper Fig 6).
+#include <gtest/gtest.h>
+
+#include "phy/abicm.hpp"
+#include "queueing/threshold_controller.hpp"
+
+namespace caem::queueing {
+namespace {
+
+class ThresholdTest : public ::testing::Test {
+ protected:
+  phy::AbicmTable table_;
+};
+
+TEST_F(ThresholdTest, NonePolicyAlwaysPermits) {
+  ThresholdController controller(ThresholdPolicy::kNone, &table_, 5, 15);
+  EXPECT_TRUE(controller.permits(-100.0));
+  EXPECT_TRUE(controller.permits(0.0));
+  for (std::size_t q = 0; q < 100; ++q) controller.on_arrival(q);
+  EXPECT_TRUE(controller.permits(-100.0));
+}
+
+TEST_F(ThresholdTest, FixedPolicyPinnedAtHighest) {
+  ThresholdController controller(ThresholdPolicy::kFixedHighest, &table_, 5, 15);
+  EXPECT_EQ(controller.threshold_class(), table_.highest());
+  EXPECT_DOUBLE_EQ(controller.threshold_snr_db(), 18.0);
+  // No amount of congestion moves it.
+  for (int i = 0; i < 200; ++i) controller.on_arrival(40);
+  EXPECT_EQ(controller.threshold_class(), table_.highest());
+  EXPECT_FALSE(controller.permits(17.9));
+  EXPECT_TRUE(controller.permits(18.0));
+}
+
+TEST_F(ThresholdTest, AdaptiveStartsAtHighest) {
+  ThresholdController controller(ThresholdPolicy::kAdaptive, &table_, 5, 15);
+  EXPECT_EQ(controller.threshold_class(), 3u);
+}
+
+TEST_F(ThresholdTest, AdaptiveLowersOnGrowingQueue) {
+  ThresholdController controller(ThresholdPolicy::kAdaptive, &table_, 5, 15);
+  // Feed a steadily growing queue above the arm length: every sampling
+  // epoch (5 arrivals) with dV >= 0 lowers one class.
+  std::size_t queue = 20;
+  for (int arrival = 0; arrival < 10; ++arrival) controller.on_arrival(queue++);
+  // 10 arrivals = 2 samples = 1 variation -> exactly one lowering.
+  EXPECT_EQ(controller.threshold_class(), 2u);
+  EXPECT_EQ(controller.lower_events(), 1u);
+  for (int arrival = 0; arrival < 15; ++arrival) controller.on_arrival(queue++);
+  EXPECT_EQ(controller.threshold_class(), 0u);  // floor is the lowest class
+  for (int arrival = 0; arrival < 10; ++arrival) controller.on_arrival(queue++);
+  EXPECT_EQ(controller.threshold_class(), 0u);  // never below the floor
+}
+
+TEST_F(ThresholdTest, AdaptiveRaisesToHighestOnDraining) {
+  ThresholdController controller(ThresholdPolicy::kAdaptive, &table_, 5, 15);
+  std::size_t queue = 20;
+  for (int arrival = 0; arrival < 15; ++arrival) controller.on_arrival(queue++);
+  ASSERT_LT(controller.threshold_class(), 3u);
+  // Now drain (still above arm): first dV < 0 sample resets to highest.
+  std::size_t level = 40;
+  for (int arrival = 0; arrival < 10; ++arrival) controller.on_arrival(level -= 2);
+  EXPECT_EQ(controller.threshold_class(), 3u);
+  EXPECT_GE(controller.raise_events(), 1u);
+}
+
+TEST_F(ThresholdTest, BelowArmLengthIsNull) {
+  // Fig 6: arrivals with queue < Q_threshold change nothing.
+  ThresholdController controller(ThresholdPolicy::kAdaptive, &table_, 5, 15);
+  std::size_t queue = 20;
+  for (int arrival = 0; arrival < 15; ++arrival) controller.on_arrival(queue++);
+  const auto lowered = controller.threshold_class();
+  ASSERT_LT(lowered, 3u);
+  for (int arrival = 0; arrival < 50; ++arrival) controller.on_arrival(5);
+  EXPECT_EQ(controller.threshold_class(), lowered);  // held, not raised
+}
+
+TEST_F(ThresholdTest, ZeroVariationCountsAsGrowing) {
+  // Paper: dV >= 0 lowers (a persistently full queue needs relief).
+  ThresholdController controller(ThresholdPolicy::kAdaptive, &table_, 1, 15);
+  controller.on_arrival(20);
+  controller.on_arrival(20);  // dV = 0
+  EXPECT_EQ(controller.threshold_class(), 2u);
+}
+
+TEST_F(ThresholdTest, ResetRestoresHighestAndHistory) {
+  ThresholdController controller(ThresholdPolicy::kAdaptive, &table_, 1, 15);
+  controller.on_arrival(20);
+  controller.on_arrival(25);
+  ASSERT_LT(controller.threshold_class(), 3u);
+  controller.reset();
+  EXPECT_EQ(controller.threshold_class(), 3u);
+  // History cleared: the next arrival is a fresh first sample.
+  controller.on_arrival(30);
+  EXPECT_EQ(controller.threshold_class(), 3u);
+}
+
+TEST_F(ThresholdTest, PermitsComparesAgainstClassThreshold) {
+  ThresholdController controller(ThresholdPolicy::kAdaptive, &table_, 1, 15);
+  controller.on_arrival(20);
+  controller.on_arrival(25);  // lowered to class 2 (14 dB)
+  EXPECT_TRUE(controller.permits(14.0));
+  EXPECT_FALSE(controller.permits(13.9));
+}
+
+TEST_F(ThresholdTest, Validation) {
+  EXPECT_THROW(ThresholdController(ThresholdPolicy::kAdaptive, nullptr, 5, 15),
+               std::invalid_argument);
+}
+
+TEST_F(ThresholdTest, PolicyNames) {
+  EXPECT_STREQ(to_string(ThresholdPolicy::kNone), "none");
+  EXPECT_STREQ(to_string(ThresholdPolicy::kFixedHighest), "fixed-highest");
+  EXPECT_STREQ(to_string(ThresholdPolicy::kAdaptive), "adaptive");
+}
+
+}  // namespace
+}  // namespace caem::queueing

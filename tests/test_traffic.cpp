@@ -1,0 +1,85 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include "traffic/source.hpp"
+#include "util/stats.hpp"
+
+namespace caem::traffic {
+namespace {
+
+TEST(Poisson, MeanRateMatches) {
+  PoissonSource source(5.0);
+  util::Rng rng(1);
+  util::OnlineStats gaps;
+  for (int i = 0; i < 100000; ++i) gaps.add(source.next_interarrival_s(rng));
+  EXPECT_NEAR(gaps.mean(), 0.2, 0.005);
+  EXPECT_DOUBLE_EQ(source.mean_rate_pps(), 5.0);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(gaps.stddev(), 0.2, 0.01);
+}
+
+TEST(Poisson, StrictlyPositiveGaps) {
+  PoissonSource source(100.0);
+  util::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(source.next_interarrival_s(rng), 0.0);
+  EXPECT_THROW(PoissonSource(0.0), std::invalid_argument);
+}
+
+TEST(Cbr, JitterBounds) {
+  CbrSource source(10.0, 0.2);
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double gap = source.next_interarrival_s(rng);
+    EXPECT_GE(gap, 0.1 * 0.8 - 1e-12);
+    EXPECT_LE(gap, 0.1 * 1.2 + 1e-12);
+  }
+}
+
+TEST(Cbr, NoJitterIsExact) {
+  CbrSource source(4.0, 0.0);
+  util::Rng rng(4);
+  EXPECT_DOUBLE_EQ(source.next_interarrival_s(rng), 0.25);
+  EXPECT_THROW(CbrSource(4.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CbrSource(-1.0), std::invalid_argument);
+}
+
+TEST(Burst, MeanRateApproximatesTarget) {
+  BurstSource source(2.0, 5.0, 0.05);
+  util::Rng rng(5);
+  double total_time = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total_time += source.next_interarrival_s(rng);
+  const double rate = n / total_time;
+  EXPECT_NEAR(rate, source.mean_rate_pps(), source.mean_rate_pps() * 0.1);
+  // Cycle: 0.5 s quiet + 4 x 0.05 s intra-burst = 0.7 s for 5 packets.
+  EXPECT_NEAR(source.mean_rate_pps(), 5.0 / 0.7, 1e-9);
+}
+
+TEST(Burst, IntraBurstGapsAreTight) {
+  BurstSource source(0.5, 8.0, 0.05);
+  util::Rng rng(6);
+  int tight = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (source.next_interarrival_s(rng) == 0.05) ++tight;
+  }
+  // With mean burst size 8, ~7/8 of gaps are intra-burst.
+  EXPECT_NEAR(static_cast<double>(tight) / n, 7.0 / 8.0, 0.05);
+}
+
+TEST(Burst, Validation) {
+  EXPECT_THROW(BurstSource(0.0, 5.0, 0.05), std::invalid_argument);
+  EXPECT_THROW(BurstSource(1.0, 0.5, 0.05), std::invalid_argument);
+  EXPECT_THROW(BurstSource(1.0, 5.0, 0.0), std::invalid_argument);
+}
+
+TEST(Factory, KnownKindsAndErrors) {
+  util::Rng rng(7);
+  EXPECT_NEAR(make_source("poisson", 5.0)->mean_rate_pps(), 5.0, 1e-12);
+  EXPECT_NEAR(make_source("cbr", 5.0)->mean_rate_pps(), 5.0, 1e-12);
+  EXPECT_NEAR(make_source("burst", 5.0)->mean_rate_pps(), 5.0, 1e-12);
+  EXPECT_THROW(make_source("fractal", 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caem::traffic
