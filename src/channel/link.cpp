@@ -13,15 +13,34 @@ double noise_floor_dbm(double bandwidth_hz, double noise_figure_db) noexcept {
 }
 
 Link::Link(const PathLossModel* path_loss, MobilityModel* a, MobilityModel* b,
-           GaussMarkovShadowing shadowing, std::unique_ptr<FadingModel> fading)
+           GaussMarkovShadowing shadowing, std::unique_ptr<FadingModel> fading,
+           double fading_cache_window_s)
     : path_loss_(path_loss),
       a_(a),
       b_(b),
       shadowing_(std::move(shadowing)),
-      fading_(std::move(fading)) {
+      fading_(std::move(fading)),
+      fading_cache_window_s_(fading_cache_window_s) {
   if (path_loss_ == nullptr || a_ == nullptr || b_ == nullptr || !fading_) {
     throw std::invalid_argument("Link: null component");
   }
+  if (std::isnan(fading_cache_window_s_) || fading_cache_window_s_ < 0.0) {
+    throw std::invalid_argument("Link: bad fading cache window");
+  }
+}
+
+double Link::fading_gain(double time_s) {
+  if (fading_cache_window_s_ <= 0.0) return fading_->power_gain(time_s);
+  const double window = std::floor(time_s / fading_cache_window_s_);
+  if (window != cached_window_index_) {
+    cached_window_index_ = window;
+    // Sample at the window midpoint: representative of the whole window,
+    // and immune to floor(w*window_s/window_s) rounding below w — which
+    // matters for BlockRayleighFading, whose internal block length
+    // coincides with the cache window.
+    cached_fading_gain_ = fading_->power_gain((window + 0.5) * fading_cache_window_s_);
+  }
+  return cached_fading_gain_;
 }
 
 double Link::distance_m_at(double time_s) {
@@ -33,7 +52,7 @@ double Link::gain_db(double time_s) {
   const double shadow = shadowing_.value_db(time_s);
   // Fading gain can be arbitrarily close to 0 in a deep fade; floor it so
   // the dB conversion stays finite (-80 dB fade is far below any mode).
-  const double fade = std::max(fading_->power_gain(time_s), 1e-8);
+  const double fade = std::max(fading_gain(time_s), 1e-8);
   return -loss + shadow + util::linear_to_db(fade);
 }
 

@@ -31,8 +31,17 @@ class Link {
  public:
   /// @param path_loss  shared distance model (owned by the LinkManager)
   /// @param a, b       endpoint mobility models (owned by the LinkManager)
+  /// @param fading_cache_window_s  when > 0, the fading process (the
+  ///     trig-heavy sum-of-sinusoids) is evaluated once per window of
+  ///     this length — normally the coherence time 0.423/f_d, within
+  ///     which the channel is flat by definition — and reused for every
+  ///     query in the window.  0 disables caching: every query evaluates
+  ///     the fading exactly (bit-identical to the uncached code path).
+  ///     Path loss and shadowing are always evaluated exactly, so the
+  ///     per-link shadowing RNG consumption is independent of this knob.
   Link(const PathLossModel* path_loss, MobilityModel* a, MobilityModel* b,
-       GaussMarkovShadowing shadowing, std::unique_ptr<FadingModel> fading);
+       GaussMarkovShadowing shadowing, std::unique_ptr<FadingModel> fading,
+       double fading_cache_window_s = 0.0);
 
   /// Composite channel power gain in dB (negative for real links).
   [[nodiscard]] double gain_db(double time_s);
@@ -45,12 +54,24 @@ class Link {
 
   [[nodiscard]] const FadingModel& fading() const noexcept { return *fading_; }
 
+  /// Coherence-window cache length (0 when caching is disabled).
+  [[nodiscard]] double fading_cache_window_s() const noexcept { return fading_cache_window_s_; }
+
  private:
+  /// Fading power gain, served from the coherence-window cache when
+  /// enabled (evaluated at the window midpoint so the cached value
+  /// depends only on the window index, not on the query pattern — and
+  /// lands robustly inside BlockRayleighFading's matching block).
+  [[nodiscard]] double fading_gain(double time_s);
+
   const PathLossModel* path_loss_;
   MobilityModel* a_;
   MobilityModel* b_;
   GaussMarkovShadowing shadowing_;
   std::unique_ptr<FadingModel> fading_;
+  double fading_cache_window_s_;
+  double cached_window_index_ = -1.0;
+  double cached_fading_gain_ = 1.0;
 };
 
 }  // namespace caem::channel

@@ -56,8 +56,12 @@ Link& LinkManager::link(NodeId a, NodeId b) {
     const std::string tag = std::to_string(std::min(a, b)) + "-" + std::to_string(std::max(a, b));
     GaussMarkovShadowing shadowing(config_.shadowing_sigma_db, config_.shadowing_tau_s,
                                    rng_->make_stream("shadow/" + tag));
+    auto fading = make_fading("fading/" + tag);
+    const double cache_window_s =
+        config_.snr_cache_enabled ? fading->coherence_time_s() : 0.0;
     auto link = std::make_unique<Link>(path_loss_.get(), nodes_[a].get(), nodes_[b].get(),
-                                       std::move(shadowing), make_fading("fading/" + tag));
+                                       std::move(shadowing), std::move(fading),
+                                       cache_window_s);
     it = links_.emplace(key, std::move(link)).first;
   }
   return *it->second;

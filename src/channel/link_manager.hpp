@@ -33,6 +33,11 @@ struct ChannelConfig {
   FadingKind fading_kind = FadingKind::kJakesRayleigh;
   double rician_k = 3.0;             ///< only for FadingKind::kRician
   std::size_t jakes_oscillators = 16;
+  /// Coherence-window SNR cache: evaluate the fading process at most
+  /// once per 0.423/doppler_hz per link (within which the channel is
+  /// flat by definition) instead of once per tone check.  Disable for
+  /// exact per-query evaluation — bit-identical to the pre-cache code.
+  bool snr_cache_enabled = true;
 };
 
 class LinkManager {

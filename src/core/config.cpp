@@ -95,6 +95,8 @@ void NetworkConfig::apply_overrides(const util::Config& overrides) {
       overrides.get_double("channel.shadowing_sigma_db", channel.shadowing_sigma_db);
   channel.path_loss_exponent =
       overrides.get_double("channel.path_loss_exponent", channel.path_loss_exponent);
+  channel.snr_cache_enabled =
+      overrides.get_bool("channel.snr_cache_enabled", channel.snr_cache_enabled);
   tx_power_dbm = overrides.get_double("tx_power_dbm", tx_power_dbm);
   initial_energy_j = overrides.get_double("initial_energy_j", initial_energy_j);
   dead_fraction = overrides.get_double("dead_fraction", dead_fraction);

@@ -25,7 +25,12 @@ Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
   const queueing::ThresholdPolicy policy = threshold_policy_for(protocol_);
   nodes_.reserve(config_.node_count);
   sources_.reserve(config_.node_count);
+  traffic_streams_.reserve(config_.node_count);
   current_ch_.assign(config_.node_count, kNoCh);
+  active_clusters_.reserve(
+      static_cast<std::size_t>(config_.ch_fraction * static_cast<double>(config_.node_count)) +
+      1);
+  leach_stream_ = rng_.handle("leach");
   for (std::uint32_t id = 0; id < config_.node_count; ++id) {
     const channel::Vec2 position{placement.uniform(0.0, config_.field_size_m),
                                  placement.uniform(0.0, config_.field_size_m)};
@@ -67,13 +72,16 @@ Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
 
     nodes_.push_back(std::move(node));
     sources_.push_back(traffic::make_source(config_.traffic_kind, config_.traffic_rate_pps));
+    traffic_streams_.push_back(rng_.handle("traffic/" + std::to_string(id)));
   }
 }
 
 Network::~Network() = default;
 
 double Network::link_snr_db(std::uint32_t id, double time_s) {
-  const std::uint32_t ch = current_ch_.at(id);
+  // Per-tone-check path: ids are dense by construction, skip the bounds
+  // re-check of at().
+  const std::uint32_t ch = current_ch_[id];
   if (ch == kNoCh || ch == id) return -1e9;  // no link this round
   return links_.snr_db(id, ch, time_s, config_.link_budget());
 }
@@ -130,10 +138,9 @@ void Network::begin_round(double now_s) {
     return;
   }
 
-  util::Rng& leach_rng = rng_.stream("leach");
+  util::Rng& leach_rng = rng_.stream(leach_stream_);
   const auto clusters = rounds_->next_round(positions(now_s), alive, leach_rng);
 
-  active_clusters_.reserve(clusters.size());
   for (const auto& cluster : clusters) {
     Node& head = *nodes_.at(cluster.head);
     head.set_cluster_head(true);
@@ -176,8 +183,8 @@ void Network::begin_round(double now_s) {
 // ----------------------------------------------------------------- traffic
 
 void Network::schedule_arrival(std::uint32_t id) {
-  util::Rng& rng = rng_.stream("traffic/" + std::to_string(id));
-  const double dt = sources_.at(id)->next_interarrival_s(rng);
+  util::Rng& rng = rng_.stream(traffic_streams_[id]);
+  const double dt = sources_[id]->next_interarrival_s(rng);
   sim_.schedule_in(dt, [this, id](double now) { handle_arrival(id, now); });
 }
 
@@ -261,11 +268,11 @@ void Network::schedule_queue_snapshot() {
 }
 
 std::vector<double> Network::remaining_energy_j() const {
+  // settle() so time-in-state up to "now" is integrated exactly.
+  const double now = sim_.now();
   std::vector<double> remaining(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    // settle() so time-in-state up to "now" is integrated exactly.
-    const double now = sim_.now();
-    const_cast<Node&>(*nodes_[i]).settle(now);
+    nodes_[i]->settle(now);
     remaining[i] = nodes_[i]->battery().remaining_j();
   }
   return remaining;
@@ -299,10 +306,8 @@ mac::SensorMacCounters Network::mac_totals() const {
 Network::ControllerTotals Network::controller_totals() const {
   ControllerTotals totals;
   for (const auto& node : nodes_) {
-    // controller() is non-const on Node; counters are logically const.
-    auto& mutable_node = const_cast<Node&>(*node);
-    totals.lower_events += mutable_node.controller().lower_events();
-    totals.raise_events += mutable_node.controller().raise_events();
+    totals.lower_events += node->controller().lower_events();
+    totals.raise_events += node->controller().raise_events();
   }
   return totals;
 }

@@ -121,6 +121,11 @@ class Network {
   std::vector<std::uint32_t> current_ch_;
   std::vector<ActiveCluster> active_clusters_;
 
+  // Pre-resolved RNG stream handles: the per-packet path indexes a plain
+  // vector instead of building "traffic/<id>" strings for map lookups.
+  std::vector<sim::StreamHandle> traffic_streams_;
+  sim::StreamHandle leach_stream_ = 0;
+
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t collisions_total_ = 0;
   bool started_ = false;

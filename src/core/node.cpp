@@ -30,7 +30,7 @@ Node::Node(std::uint32_t id, channel::Vec2 position, const NetworkConfig& config
                                           error_model, std::move(true_snr), mac_rng);
 }
 
-void Node::settle(double now_s) {
+void Node::settle(double now_s) const {
   data_radio_.settle(now_s);
   tone_radio_.settle(now_s);
 }

@@ -38,8 +38,9 @@ class Node {
   [[nodiscard]] channel::Vec2 position() const noexcept { return position_; }
   [[nodiscard]] bool alive() const noexcept { return !battery_.depleted(); }
 
-  /// Integrate radio state time up to `now` (metrics snapshots).
-  void settle(double now_s);
+  /// Integrate radio state time up to `now` (metrics snapshots).  Const
+  /// so metric reads never need a const_cast; see energy::Radio::settle.
+  void settle(double now_s) const;
 
   [[nodiscard]] energy::Battery& battery() noexcept { return battery_; }
   [[nodiscard]] const energy::Battery& battery() const noexcept { return battery_; }
@@ -50,6 +51,9 @@ class Node {
   [[nodiscard]] queueing::PacketQueue& queue() noexcept { return queue_; }
   [[nodiscard]] const queueing::PacketQueue& queue() const noexcept { return queue_; }
   [[nodiscard]] queueing::ThresholdController& controller() noexcept { return controller_; }
+  [[nodiscard]] const queueing::ThresholdController& controller() const noexcept {
+    return controller_;
+  }
   [[nodiscard]] tone::ToneMonitor& monitor() noexcept { return monitor_; }
   [[nodiscard]] mac::SensorMac& mac() noexcept { return *mac_; }
   [[nodiscard]] const mac::SensorMac& mac() const noexcept { return *mac_; }

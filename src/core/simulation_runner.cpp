@@ -27,6 +27,7 @@ RunResult SimulationRunner::run(const NetworkConfig& config, Protocol protocol,
   result.protocol = protocol;
   result.seed = seed;
   result.sim_end_s = network.simulator().now();
+  result.executed_events = network.simulator().executed_events();
   result.generated = m.generated();
   result.delivered_air = m.delivered();
   result.delivered_self = m.self_delivered();

@@ -17,6 +17,7 @@ struct RunResult {
   Protocol protocol = Protocol::kPureLeach;
   std::uint64_t seed = 0;
   double sim_end_s = 0.0;
+  std::uint64_t executed_events = 0;  ///< kernel events fired (perf accounting)
 
   // traffic accounting
   std::uint64_t generated = 0;

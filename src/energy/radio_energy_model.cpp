@@ -11,7 +11,7 @@ Radio::Radio(RadioId id, RadioPowerProfile profile, Battery* battery, EnergyLedg
   }
 }
 
-void Radio::settle(double now_s) {
+void Radio::settle(double now_s) const {
   if (now_s < last_transition_s_) {
     throw std::invalid_argument("Radio: time went backwards");
   }

@@ -25,7 +25,9 @@ class Radio {
 
   /// Charge the elapsed time in the current state without changing it
   /// (used before reading remaining energy for a metrics snapshot).
-  void settle(double now_s);
+  /// Const: integration bookkeeping is mutable state so metric reads can
+  /// settle from const context; the battery/ledger are external objects.
+  void settle(double now_s) const;
 
   [[nodiscard]] RadioState state() const noexcept { return state_; }
   [[nodiscard]] const RadioPowerProfile& profile() const noexcept { return profile_; }
@@ -40,7 +42,7 @@ class Radio {
   Battery* battery_;
   EnergyLedger* ledger_;
   RadioState state_ = RadioState::kOff;
-  double last_transition_s_ = 0.0;
+  mutable double last_transition_s_ = 0.0;
 };
 
 }  // namespace caem::energy

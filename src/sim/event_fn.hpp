@@ -1,0 +1,153 @@
+// event_fn.hpp — small-buffer-optimized callable for kernel events.
+//
+// std::function<void(double)> heap-allocates for captures beyond ~16
+// bytes (implementation-dependent), which puts one malloc/free pair on
+// every scheduled event.  Every callback the kernel schedules captures at
+// most a `this` pointer plus a handful of scalars, so EventFn reserves 48
+// bytes of inline storage — enough for all kernel lambdas — and only
+// falls back to the heap for oversized callables.  Move-only: events fire
+// once, so copyability buys nothing and would force capture copies.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace caem::sim {
+
+class EventFn {
+ public:
+  /// Inline storage; callables up to this size (and max_align_t
+  /// alignment) never touch the heap.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  /// Whether a callable of type F is stored inline (compile-time).
+  template <typename F>
+  static constexpr bool stores_inline() noexcept {
+    return fits_inline_v<std::decay_t<F>>;
+  }
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, double>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  /// Invoke with the firing time.  Precondition: non-empty.
+  void operator()(double now_s) { vtable_->invoke(buffer_, now_s); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// Destroy the held callable (releasing captured state) and go empty.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buffer_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// True when the held callable lives in the inline buffer (diagnostics).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_stored;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage, double now_s);
+    void (*destroy)(void* storage) noexcept;
+    /// Move-construct into dst from src, then destroy src's callable.
+    void (*relocate)(void* dst, void* src) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline_v = sizeof(F) <= kInlineCapacity &&
+                                        alignof(F) <= alignof(std::max_align_t) &&
+                                        std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineOps {
+    static void invoke(void* storage, double now_s) {
+      (*std::launder(reinterpret_cast<F*>(storage)))(now_s);
+    }
+    static void destroy(void* storage) noexcept {
+      std::launder(reinterpret_cast<F*>(storage))->~F();
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      F* from = std::launder(reinterpret_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static constexpr VTable vtable{&invoke, &destroy, &relocate, true};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static void invoke(void* storage, double now_s) {
+      F* fn = nullptr;
+      std::memcpy(&fn, storage, sizeof(fn));
+      (*fn)(now_s);
+    }
+    static void destroy(void* storage) noexcept {
+      F* fn = nullptr;
+      std::memcpy(&fn, storage, sizeof(fn));
+      delete fn;
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      std::memcpy(dst, src, sizeof(F*));
+    }
+    static constexpr VTable vtable{&invoke, &destroy, &relocate, false};
+  };
+
+  template <typename FRef>
+  void emplace(FRef&& fn) {
+    using F = std::decay_t<FRef>;
+    if constexpr (fits_inline_v<F>) {
+      ::new (static_cast<void*>(buffer_)) F(std::forward<FRef>(fn));
+      vtable_ = &InlineOps<F>::vtable;
+    } else {
+      F* heap = new F(std::forward<FRef>(fn));
+      std::memcpy(buffer_, &heap, sizeof(heap));
+      vtable_ = &HeapOps<F>::vtable;
+    }
+  }
+
+  void move_from(EventFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buffer_, other.buffer_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineCapacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace caem::sim

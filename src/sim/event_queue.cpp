@@ -1,100 +1,133 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace caem::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (slots_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("EventQueue: slot table overflow");
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.live = false;
+  s.fn.reset();
+  // Stale ids can never match again.  Skip generation 0 on wrap: it
+  // would make make_id(0, 0) == kInvalidEventId and let ids from a full
+  // generation cycle ago alias a live event.
+  if (++s.generation == 0) s.generation = 1;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::schedule(double time_s, EventCallback callback) {
   if (std::isnan(time_s)) throw std::invalid_argument("EventQueue: NaN event time");
   if (!callback) throw std::invalid_argument("EventQueue: null callback");
-  const std::uint64_t id = next_sequence_++;
-  heap_.push_back(Entry{time_s, id, std::move(callback), false});
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(callback);
+  s.live = true;
+  heap_.push_back(Entry{time_s, next_sequence_++, slot});
   sift_up(heap_.size() - 1);
   ++live_count_;
-  return id;
+  return make_id(slot, s.generation);
 }
 
 bool EventQueue::cancel(EventId id) noexcept {
-  if (id == kInvalidEventId || id >= next_sequence_) return false;
-  // Find the entry; linear scan is acceptable because cancellation is
-  // rare relative to scheduling (only MAC timers get cancelled) and the
-  // heap stays small (hundreds of entries for 100 nodes).
-  for (auto& entry : heap_) {
-    if (entry.sequence == id) {
-      if (entry.cancelled) return false;
-      entry.cancelled = true;
-      entry.callback = nullptr;  // release captured state eagerly
-      --live_count_;
-      return true;
-    }
-  }
-  return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (id == kInvalidEventId || slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != generation) return false;
+  // Tombstone: the heap entry stays and is skipped on pop; the slot is
+  // recycled when that entry surfaces.  Captured state is released now.
+  s.live = false;
+  s.fn.reset();
+  --live_count_;
+  return true;
 }
 
-double EventQueue::next_time() const {
-  // Skip tombstones without mutating (const): walk a copy of the heap
-  // indices.  In practice the top is almost never a tombstone because
-  // pop() prunes; handle it by scanning for the minimum live entry.
+double EventQueue::next_time() {
   if (live_count_ == 0) throw std::out_of_range("EventQueue: next_time() on empty queue");
-  if (!heap_.empty() && !heap_.front().cancelled) return heap_.front().time_s;
-  const Entry* best = nullptr;
-  for (const auto& entry : heap_) {
-    if (entry.cancelled) continue;
-    if (best == nullptr || later(*best, entry)) best = &entry;
-  }
-  return best->time_s;
+  drop_dead_top();
+  return heap_.front().time_s;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_dead_top();
   if (heap_.empty()) throw std::out_of_range("EventQueue: pop() on empty queue");
-  Entry top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
+  const Entry top = heap_.front();
+  heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
+  Slot& s = slots_[top.slot];
+  Fired fired{make_id(top.slot, s.generation), top.time_s, std::move(s.fn)};
+  release_slot(top.slot);
   --live_count_;
   drop_dead_top();
-  return Fired{top.sequence, top.time_s, std::move(top.callback)};
+  return fired;
 }
 
 void EventQueue::clear() noexcept {
   heap_.clear();
-  cancelled_ids_.clear();
+  free_slots_.clear();
+  free_slots_.reserve(slots_.size());
+  // Bump every generation so ids issued before clear() go stale, and
+  // recycle all slots.
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    slots_[slot].live = false;
+    slots_[slot].fn.reset();
+    if (++slots_[slot].generation == 0) slots_[slot].generation = 1;
+    free_slots_.push_back(static_cast<std::uint32_t>(slots_.size() - 1 - slot));
+  }
   live_count_ = 0;
 }
 
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty() && heap_.front().cancelled) {
-    heap_.front() = std::move(heap_.back());
+void EventQueue::drop_dead_top() noexcept {
+  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
+    release_slot(heap_.front().slot);
+    heap_.front() = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
   }
 }
 
 void EventQueue::sift_up(std::size_t index) noexcept {
+  const Entry moving = heap_[index];
   while (index > 0) {
     const std::size_t parent = (index - 1) / 2;
-    if (!later(heap_[parent], heap_[index])) break;
-    std::swap(heap_[parent], heap_[index]);
+    if (!later(heap_[parent], moving)) break;
+    heap_[index] = heap_[parent];
     index = parent;
   }
+  heap_[index] = moving;
 }
 
 void EventQueue::sift_down(std::size_t index) noexcept {
   const std::size_t n = heap_.size();
+  const Entry moving = heap_[index];
   for (;;) {
     const std::size_t left = 2 * index + 1;
+    if (left >= n) break;
     const std::size_t right = left + 1;
-    std::size_t smallest = index;
-    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
-    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
-    if (smallest == index) return;
-    std::swap(heap_[index], heap_[smallest]);
+    std::size_t smallest = left;
+    if (right < n && later(heap_[left], heap_[right])) smallest = right;
+    if (!later(moving, heap_[smallest])) break;
+    heap_[index] = heap_[smallest];
     index = smallest;
   }
+  heap_[index] = moving;
 }
 
 }  // namespace caem::sim

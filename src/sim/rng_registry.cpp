@@ -1,11 +1,19 @@
 #include "sim/rng_registry.hpp"
 
+#include <limits>
+#include <stdexcept>
+
 namespace caem::sim {
 
-util::Rng& RngRegistry::stream(const std::string& name) {
-  auto it = streams_.find(name);
-  if (it == streams_.end()) {
-    it = streams_.emplace(name, util::Rng(master_seed_, name)).first;
+StreamHandle RngRegistry::handle(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    if (streams_.size() >= std::numeric_limits<StreamHandle>::max()) {
+      throw std::length_error("RngRegistry: stream table overflow");
+    }
+    const auto handle = static_cast<StreamHandle>(streams_.size());
+    streams_.emplace_back(master_seed_, name);
+    it = index_.emplace(name, handle).first;
   }
   return it->second;
 }

@@ -5,9 +5,18 @@
 // derived from the run's master seed by hashing the name, so adding a new
 // component does not perturb the draws seen by existing ones — a property
 // the regression tests rely on.
+//
+// Hot-path components should resolve the name once (handle()) and access
+// the stream through the returned integer handle: stream(StreamHandle)
+// is a plain vector index — no string construction, hashing, or map
+// lookup.  Handle- and name-based access hit the same underlying stream,
+// and because a stream's draw sequence depends only on (master seed,
+// name), pre-resolving handles at construction is draw-for-draw
+// identical to lazy name lookup.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 
@@ -15,13 +24,24 @@
 
 namespace caem::sim {
 
+/// Pre-resolved index of a named stream within one registry.  Valid only
+/// for the registry that issued it.
+using StreamHandle = std::uint32_t;
+
 class RngRegistry {
  public:
   explicit RngRegistry(std::uint64_t master_seed) noexcept : master_seed_(master_seed) {}
 
   /// Get (creating on first use) the stream with the given name.
   /// References remain valid for the registry's lifetime.
-  [[nodiscard]] util::Rng& stream(const std::string& name);
+  [[nodiscard]] util::Rng& stream(const std::string& name) { return streams_[handle(name)]; }
+
+  /// Resolve (creating on first use) a name to an integer handle for
+  /// repeated lookup-free access.
+  [[nodiscard]] StreamHandle handle(const std::string& name);
+
+  /// The stream behind a pre-resolved handle: one bounds-unchecked index.
+  [[nodiscard]] util::Rng& stream(StreamHandle handle) noexcept { return streams_[handle]; }
 
   /// Build an owned stream without registering it (for components that
   /// store their RNG by value).
@@ -32,7 +52,9 @@ class RngRegistry {
 
  private:
   std::uint64_t master_seed_;
-  std::map<std::string, util::Rng> streams_;
+  // Deque keeps stream references stable as new streams register.
+  std::deque<util::Rng> streams_;
+  std::map<std::string, StreamHandle> index_;
 };
 
 }  // namespace caem::sim

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 
 #include "sim/event_queue.hpp"

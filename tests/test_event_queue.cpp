@@ -1,9 +1,14 @@
-// Tests for the pending-event set: ordering, FIFO ties, cancellation.
+// Tests for the pending-event set: ordering, FIFO ties, cancellation,
+// generation-stamped ids, and the small-buffer-optimised EventFn.
 #include <gtest/gtest.h>
 #include <cmath>
 
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/event_queue.hpp"
 
 namespace caem::sim {
@@ -88,6 +93,136 @@ TEST(EventQueue, ClearDropsEverything) {
   queue.clear();
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, StaleIdCancelReturnsFalse) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1.0, [](double) {});
+  (void)queue.pop();           // fires -> slot released, generation bumped
+  EXPECT_FALSE(queue.cancel(id));
+  const EventId again = queue.schedule(2.0, [](double) {});
+  EXPECT_FALSE(queue.cancel(id));  // still stale even though the slot is reused
+  EXPECT_TRUE(queue.cancel(again));
+}
+
+TEST(EventQueue, IdReuseIsImpossible) {
+  // A slot is recycled after pop/cancel, but the generation stamp makes
+  // every issued id distinct — an old handle can never cancel a newer
+  // event that happens to land in the same slot.
+  EventQueue queue;
+  std::vector<EventId> seen;
+  for (int round = 0; round < 50; ++round) {
+    const EventId id = queue.schedule(static_cast<double>(round), [](double) {});
+    for (const EventId old : seen) EXPECT_NE(id, old);
+    seen.push_back(id);
+    if (round % 2 == 0) {
+      EXPECT_TRUE(queue.cancel(id));
+    } else {
+      (void)queue.pop();
+    }
+    // Every previously issued id is now dead: cancel must refuse.
+    for (const EventId old : seen) EXPECT_FALSE(queue.cancel(old));
+  }
+}
+
+TEST(EventQueue, IdsStaleAfterClear) {
+  EventQueue queue;
+  const EventId a = queue.schedule(1.0, [](double) {});
+  const EventId b = queue.schedule(2.0, [](double) {});
+  queue.clear();
+  EXPECT_FALSE(queue.cancel(a));
+  EXPECT_FALSE(queue.cancel(b));
+  bool ran = false;
+  const EventId c = queue.schedule(1.0, [&](double) { ran = true; });
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+  queue.pop().callback(1.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelledCallbackStateReleasedEagerly) {
+  EventQueue queue;
+  auto shared = std::make_shared<int>(7);
+  const EventId id = queue.schedule(1.0, [shared](double) {});
+  EXPECT_EQ(shared.use_count(), 2);
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(shared.use_count(), 1);  // captured copy destroyed on cancel
+}
+
+TEST(EventFn, SmallCapturesStayInline) {
+  int hits = 0;
+  double seen = 0.0;
+  // `this`-pointer-plus-scalars captures — the kernel's common case.
+  EventFn fn([&hits, &seen](double now) {
+    ++hits;
+    seen = now;
+  });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn(2.5);
+  EXPECT_EQ(hits, 1);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  static_assert(EventFn::stores_inline<void (*)(double)>());
+  static_assert(EventFn::kInlineCapacity >= 48);
+}
+
+TEST(EventFn, OversizedCapturesSpillToHeapAndStillRun) {
+  std::array<double, 16> payload{};  // 128 bytes > inline capacity
+  payload[3] = 42.0;
+  double out = 0.0;
+  EventFn fn([payload, &out](double) { out = payload[3]; });
+  EXPECT_FALSE(fn.is_inline());
+  fn(0.0);
+  EXPECT_DOUBLE_EQ(out, 42.0);
+}
+
+TEST(EventFn, MoveTransfersInlineCallable) {
+  auto shared = std::make_shared<int>(1);
+  EventFn source([shared](double) { /* keep the capture alive */ });
+  EXPECT_TRUE(source.is_inline());
+  EXPECT_EQ(shared.use_count(), 2);
+
+  EventFn target(std::move(source));
+  EXPECT_FALSE(static_cast<bool>(source));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(target));
+  EXPECT_EQ(shared.use_count(), 2);  // moved, not copied
+
+  EventFn assigned;
+  assigned = std::move(target);
+  EXPECT_FALSE(static_cast<bool>(target));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(shared.use_count(), 2);
+  assigned.reset();
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(EventFn, MoveTransfersHeapCallable) {
+  std::array<double, 16> payload{};
+  payload[0] = 9.0;
+  auto shared = std::make_shared<int>(1);
+  double out = 0.0;
+  EventFn source([payload, shared, &out](double) { out = payload[0]; });
+  EXPECT_FALSE(source.is_inline());
+  EXPECT_EQ(shared.use_count(), 2);
+
+  EventFn target(std::move(source));
+  EXPECT_FALSE(static_cast<bool>(source));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(shared.use_count(), 2);  // pointer handoff, no copy
+  target(0.0);
+  EXPECT_DOUBLE_EQ(out, 9.0);
+  target.reset();
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(EventFn, ScheduleNeverCopiesTheCallable) {
+  // Move-only capture proves schedule()/pop() move the callable end to
+  // end (a copy anywhere would fail to compile).
+  EventQueue queue;
+  auto owned = std::make_unique<int>(5);
+  int result = 0;
+  queue.schedule(1.0, [owned = std::move(owned), &result](double) { result = *owned; });
+  auto fired = queue.pop();
+  fired.callback(1.0);
+  EXPECT_EQ(result, 5);
 }
 
 TEST(EventQueue, StressInterleavedScheduleCancelPop) {
