@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/simulation_runner.hpp"
+#include "scenario/engine.hpp"
 #include "util/config.hpp"
 #include "util/table_writer.hpp"
 
@@ -26,14 +28,29 @@ struct BenchArgs {
   bool fast = false;
 };
 
+/// Parse bench CLI overrides.  Exits non-zero on malformed tokens and on
+/// any key no getter consumed: a typo'd override (`dopler_hz=5`) must
+/// never silently report results under the wrong provenance.
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   std::vector<std::string> tokens(argv + 1, argv + argc);
-  const util::Config overrides = util::Config::from_args(tokens);
-  args.seed = static_cast<std::uint64_t>(overrides.get_int("seed", 2005));
-  args.reps = static_cast<std::size_t>(overrides.get_int("reps", 2));
-  args.fast = overrides.get_bool("fast", false);
-  args.config.apply_overrides(overrides);
+  try {
+    const util::Config overrides = util::Config::from_args(tokens);
+    args.seed = static_cast<std::uint64_t>(overrides.get_int("seed", 2005));
+    args.reps = static_cast<std::size_t>(overrides.get_int("reps", 2));
+    args.fast = overrides.get_bool("fast", false);
+    args.config.apply_overrides(overrides);
+    const std::vector<std::string> typos = overrides.unconsumed();
+    if (!typos.empty()) {
+      std::cerr << "unknown override key(s):";
+      for (const std::string& key : typos) std::cerr << " '" << key << "'";
+      std::cerr << "\n";
+      std::exit(1);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "bad arguments: " << error.what() << "\n";
+    std::exit(1);
+  }
   return args;
 }
 
@@ -42,14 +59,24 @@ using core::Replicated;
 using core::RunOptions;
 using core::RunResult;
 
-/// Run every protocol at one config, replicated, in parallel.
+/// Run every protocol at one config, replicated, on ONE flattened job
+/// queue (no per-protocol barrier — all protocols' replications
+/// interleave freely across the pool).  Results are identical to the
+/// old sequential run_replicated loop: job (protocol, rep) always runs
+/// seed `seed + rep`, and fold_runs is order-deterministic.
 inline std::vector<Replicated> all_protocols(const core::NetworkConfig& config,
                                              std::uint64_t seed, std::size_t reps,
                                              const RunOptions& options) {
+  scenario::ScenarioSpec spec;
+  spec.base_config = config;
+  spec.base_seed = seed;
+  spec.replications = reps;
+  spec.options = options;
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
   std::vector<Replicated> out;
-  out.reserve(3);
-  for (const core::Protocol protocol : core::kAllProtocols) {
-    out.push_back(core::run_replicated(config, protocol, seed, reps, options));
+  out.reserve(result.points[0].protocols.size());
+  for (const scenario::ProtocolResult& entry : result.points[0].protocols) {
+    out.push_back(entry.replicated);
   }
   return out;
 }

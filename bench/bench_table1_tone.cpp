@@ -9,8 +9,14 @@
 #include "tone/tone_broadcaster.hpp"
 #include "tone/tone_codec.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace caem;
+  // This table is pure protocol constants — there is nothing to
+  // override, so any argument is a mistake worth failing loudly on.
+  if (argc > 1) {
+    std::cerr << "bench_table1_tone takes no overrides; got '" << argv[1] << "'\n";
+    return 1;
+  }
   bench::print_header("Table I — tone channel states",
                       "pulse duration / interval per data-channel state");
 

@@ -1,0 +1,92 @@
+// caem — unified scenario runner for the CAEM reproduction harness.
+//
+//   caem run <scenario.scn> [key=value ...]     run a sweep
+//   caem expand <scenario.scn> [key=value ...]  print the grid, run nothing
+//   caem help                                   usage
+//
+// Overrides use the scenario-file namespace (scenario.*, sweep.*,
+// output.*, or any NetworkConfig key).  Unknown keys are fatal: a typo
+// must never silently run the wrong experiment.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "util/table_writer.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int exit_code) {
+  out << "usage:\n"
+         "  caem run <scenario.scn> [key=value ...]     run the sweep\n"
+         "  caem expand <scenario.scn> [key=value ...]  show grid points without running\n"
+         "  caem help\n"
+         "\n"
+         "overrides share the scenario-file namespace, e.g.\n"
+         "  caem run examples/scenarios/fig10_lifetime_vs_load.scn scenario.reps=4 \\\n"
+         "      sweep.traffic_rate_pps=list:5,15 output.csv=out.csv node_count=50\n";
+  return exit_code;
+}
+
+caem::scenario::ScenarioSpec load_spec(int argc, char** argv) {
+  using caem::scenario::ScenarioSpec;
+  ScenarioSpec spec = ScenarioSpec::from_file(argv[2]);
+  const std::vector<std::string> tokens(argv + 3, argv + argc);
+  if (!tokens.empty()) {
+    spec.apply_cli_overrides(caem::util::Config::from_args(tokens));
+  }
+  return spec;
+}
+
+void print_banner(const caem::scenario::ScenarioSpec& spec, std::ostream& out) {
+  out << "scenario: " << spec.name << "\n"
+      << "grid: " << caem::scenario::grid_size(spec.axes) << " point(s) x "
+      << spec.protocols.size() << " protocol(s) x " << spec.replications
+      << " rep(s) = " << spec.total_jobs() << " job(s)"
+      << (spec.flatten ? " on one flattened queue" : " with per-point barriers") << "\n";
+}
+
+int run_command(int argc, char** argv) {
+  const caem::scenario::ScenarioSpec spec = load_spec(argc, argv);
+  print_banner(spec, std::cout);
+  std::cout << "\n";
+  const caem::scenario::ScenarioResult result = caem::scenario::run_scenario(spec);
+  caem::scenario::summary_table(result).render(std::cout);
+  std::cout << "\n";
+  caem::scenario::write_outputs(result, spec, std::cout);
+  std::cout << "wall clock: " << caem::util::format_fixed(result.wall_s, 2) << " s for "
+            << result.total_jobs << " job(s)\n";
+  return 0;
+}
+
+int expand_command(int argc, char** argv) {
+  const caem::scenario::ScenarioSpec spec = load_spec(argc, argv);
+  print_banner(spec, std::cout);
+  const auto grid = caem::scenario::expand_grid(spec.axes);
+  for (const auto& point : grid) {
+    std::cout << "  [" << point.index << "] " << caem::scenario::describe(point) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc >= 2 ? argv[1] : "";
+  if (command == "help" || command == "--help" || command == "-h") {
+    return usage(std::cout, 0);
+  }
+  if (command != "run" && command != "expand") return usage(std::cerr, 2);
+  if (argc < 3) {
+    std::cerr << "caem " << command << ": missing scenario file\n";
+    return usage(std::cerr, 2);
+  }
+  try {
+    return command == "run" ? run_command(argc, argv) : expand_command(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "caem " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+}

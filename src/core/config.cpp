@@ -90,22 +90,54 @@ void NetworkConfig::apply_overrides(const util::Config& overrides) {
       overrides.get_int("burst_max", static_cast<long long>(burst.max_packets)));
   burst.hold_timeout_s = overrides.get_double("burst_hold_s", burst.hold_timeout_s);
   backoff.cw = static_cast<std::uint32_t>(overrides.get_int("backoff_cw", backoff.cw));
+  backoff.slot_s = overrides.get_double("backoff_slot_s", backoff.slot_s);
+  backoff.max_retries =
+      static_cast<std::uint32_t>(overrides.get_int("backoff_max_retries", backoff.max_retries));
+  check_interval_s = overrides.get_double("check_interval_s", check_interval_s);
+  detect_delay_s = overrides.get_double("detect_delay_s", detect_delay_s);
+  sensing_delay_s = overrides.get_double("sensing_delay_s", sensing_delay_s);
+  tone_classify_delay_s = overrides.get_double("tone_classify_delay_s", tone_classify_delay_s);
+  csi_noise_db = overrides.get_double("csi_noise_db", csi_noise_db);
   channel.doppler_hz = overrides.get_double("channel.doppler_hz", channel.doppler_hz);
   channel.shadowing_sigma_db =
       overrides.get_double("channel.shadowing_sigma_db", channel.shadowing_sigma_db);
+  channel.shadowing_tau_s = overrides.get_double("channel.shadowing_tau_s", channel.shadowing_tau_s);
   channel.path_loss_exponent =
       overrides.get_double("channel.path_loss_exponent", channel.path_loss_exponent);
+  channel.path_loss_ref_db =
+      overrides.get_double("channel.path_loss_ref_db", channel.path_loss_ref_db);
+  channel.rician_k = overrides.get_double("channel.rician_k", channel.rician_k);
   channel.snr_cache_enabled =
       overrides.get_bool("channel.snr_cache_enabled", channel.snr_cache_enabled);
   tx_power_dbm = overrides.get_double("tx_power_dbm", tx_power_dbm);
+  rx_noise_figure_db = overrides.get_double("rx_noise_figure_db", rx_noise_figure_db);
+  noise_bandwidth_hz = overrides.get_double("noise_bandwidth_hz", noise_bandwidth_hz);
+  header_bits = overrides.get_double("header_bits", header_bits);
+  preamble_s = overrides.get_double("preamble_s", preamble_s);
   initial_energy_j = overrides.get_double("initial_energy_j", initial_energy_j);
-  dead_fraction = overrides.get_double("dead_fraction", dead_fraction);
+  data_tx_w = overrides.get_double("data_tx_w", data_tx_w);
+  data_rx_w = overrides.get_double("data_rx_w", data_rx_w);
+  data_idle_w = overrides.get_double("data_idle_w", data_idle_w);
+  data_sleep_w = overrides.get_double("data_sleep_w", data_sleep_w);
   data_startup_s = overrides.get_double("data_startup_s", data_startup_s);
+  tone_tx_w = overrides.get_double("tone_tx_w", tone_tx_w);
+  tone_rx_w = overrides.get_double("tone_rx_w", tone_rx_w);
+  tone_sleep_w = overrides.get_double("tone_sleep_w", tone_sleep_w);
+  tone_startup_s = overrides.get_double("tone_startup_s", tone_startup_s);
   tone_monitor_duty = overrides.get_double("tone_monitor_duty", tone_monitor_duty);
+  dead_fraction = overrides.get_double("dead_fraction", dead_fraction);
+  energy_snapshot_interval_s =
+      overrides.get_double("energy_snapshot_interval_s", energy_snapshot_interval_s);
+  queue_snapshot_interval_s =
+      overrides.get_double("queue_snapshot_interval_s", queue_snapshot_interval_s);
   mobility_kind = overrides.get_string("mobility_kind", mobility_kind);
   mobility_max_speed_mps = overrides.get_double("mobility_max_speed_mps", mobility_max_speed_mps);
+  mobility_pause_s = overrides.get_double("mobility_pause_s", mobility_pause_s);
   ch_forward_enabled = overrides.get_bool("ch_forward_enabled", ch_forward_enabled);
   bs_distance_m = overrides.get_double("bs_distance_m", bs_distance_m);
+  fwd_e_elec_j_per_bit = overrides.get_double("fwd_e_elec_j_per_bit", fwd_e_elec_j_per_bit);
+  fwd_eps_amp_j_per_bit_m2 =
+      overrides.get_double("fwd_eps_amp_j_per_bit_m2", fwd_eps_amp_j_per_bit_m2);
   aggregation_ratio = overrides.get_double("aggregation_ratio", aggregation_ratio);
   csi_gate_deadline_s = overrides.get_double("csi_gate_deadline_s", csi_gate_deadline_s);
   validate();

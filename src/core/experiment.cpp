@@ -44,16 +44,9 @@ std::vector<RunResult> parallel_runs(std::size_t count,
   return results;
 }
 
-Replicated run_replicated(const NetworkConfig& config, Protocol protocol,
-                          std::uint64_t base_seed, std::size_t replications,
-                          const RunOptions& options, std::size_t threads) {
+Replicated fold_runs(std::vector<RunResult> runs) {
   Replicated summary;
-  summary.runs = parallel_runs(
-      replications,
-      [&](std::size_t i) {
-        return SimulationRunner::run(config, protocol, base_seed + i, options);
-      },
-      threads);
+  summary.runs = std::move(runs);
   for (const RunResult& run : summary.runs) {
     // A lifetime of -1 means the threshold was never crossed inside the
     // horizon; fold it as the horizon (a conservative lower bound).
@@ -63,14 +56,32 @@ Replicated run_replicated(const NetworkConfig& config, Protocol protocol,
     const double first =
         run.lifetime.first_death_s >= 0.0 ? run.lifetime.first_death_s : run.sim_end_s;
     summary.first_death_s.add(first);
-    if (run.delivered_air > 0) summary.energy_per_packet_j.add(run.energy_per_delivered_packet_j);
-    summary.delivery_rate.add(run.delivery_rate);
-    summary.mean_delay_s.add(run.mean_delay_s);
+    // Delay/delivery scalars are undefined (reported as 0) when nothing
+    // was delivered over the air; folding those zeros would bias the
+    // replication mean, so such runs are skipped — same guard as
+    // energy_per_packet_j.
+    if (run.delivered_air > 0) {
+      summary.energy_per_packet_j.add(run.energy_per_delivered_packet_j);
+      summary.delivery_rate.add(run.delivery_rate);
+      summary.mean_delay_s.add(run.mean_delay_s);
+      summary.p95_delay_s.add(run.p95_delay_s);
+    }
     summary.throughput_bps.add(run.throughput_bps);
     summary.queue_stddev.add(run.mean_queue_stddev);
     summary.total_consumed_j.add(run.total_consumed_j);
   }
   return summary;
+}
+
+Replicated run_replicated(const NetworkConfig& config, Protocol protocol,
+                          std::uint64_t base_seed, std::size_t replications,
+                          const RunOptions& options, std::size_t threads) {
+  return fold_runs(parallel_runs(
+      replications,
+      [&](std::size_t i) {
+        return SimulationRunner::run(config, protocol, base_seed + i, options);
+      },
+      threads));
 }
 
 }  // namespace caem::core

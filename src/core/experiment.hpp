@@ -30,14 +30,26 @@ struct Replicated {
   util::OnlineStats energy_per_packet_j;
   util::OnlineStats delivery_rate;
   util::OnlineStats mean_delay_s;
+  util::OnlineStats p95_delay_s;
   util::OnlineStats throughput_bps;
   util::OnlineStats queue_stddev;
   util::OnlineStats total_consumed_j;
   std::vector<RunResult> runs;           ///< the raw per-seed results
 };
 
+/// Fold already-computed runs into the replication summary.  Delay and
+/// delivery statistics only exist when a run delivered at least one
+/// packet over the air — runs with `delivered_air == 0` would report a
+/// meaningless 0 and drag the replication mean toward it, so they are
+/// excluded from `delivery_rate`, `mean_delay_s`, `p95_delay_s` and
+/// `energy_per_packet_j` (check `.count()` against `runs.size()` to see
+/// how many contributed).  Lifetimes of -1 (never crossed inside the
+/// horizon) fold as the horizon, a conservative lower bound.
+Replicated fold_runs(std::vector<RunResult> runs);
+
 /// Run `replications` seeds of one (config, protocol) point in parallel
-/// and fold the headline scalars.  Seeds are base_seed, base_seed+1, ...
+/// and fold the headline scalars via `fold_runs`.  Seeds are base_seed,
+/// base_seed+1, ...
 Replicated run_replicated(const NetworkConfig& config, Protocol protocol,
                           std::uint64_t base_seed, std::size_t replications,
                           const RunOptions& options, std::size_t threads = 0);

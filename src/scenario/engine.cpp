@@ -1,0 +1,133 @@
+#include "scenario/engine.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace caem::scenario {
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const auto started = std::chrono::steady_clock::now();
+
+  ScenarioResult result;
+  result.scenario_name = spec.name;
+  for (const Axis& axis : spec.axes) result.axis_keys.push_back(axis.key);
+
+  const std::vector<GridPoint> grid = expand_grid(spec.axes);
+  const std::size_t protocol_count = spec.protocols.size();
+  const std::size_t reps = spec.replications;
+
+  // Snapshot every point's NetworkConfig before fanning out: workers
+  // receive value copies and never touch a shared util::Config.
+  std::vector<core::NetworkConfig> configs;
+  configs.reserve(grid.size());
+  for (const GridPoint& point : grid) configs.push_back(spec.config_at(point));
+
+  result.total_jobs = grid.size() * protocol_count * reps;
+  std::vector<core::RunResult> runs;
+  if (spec.flatten) {
+    // One queue over the whole cross product; job order is
+    // (point, protocol, rep) row-major so fold-back is an index
+    // computation, and each job's seed depends only on its rep index —
+    // results are independent of thread scheduling.
+    runs = core::parallel_runs(
+        result.total_jobs,
+        [&](std::size_t i) {
+          const std::size_t rep = i % reps;
+          const std::size_t protocol_index = (i / reps) % protocol_count;
+          const std::size_t point_index = i / (reps * protocol_count);
+          return core::SimulationRunner::run(configs[point_index],
+                                             spec.protocols[protocol_index],
+                                             spec.base_seed + rep, spec.options);
+        },
+        spec.threads);
+  } else {
+    // Legacy barrier mode: one small pool per (point, protocol), joined
+    // before the next starts.  Kept for wall-clock A/B comparisons.
+    runs.reserve(result.total_jobs);
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      for (const core::Protocol protocol : spec.protocols) {
+        core::Replicated replicated = core::run_replicated(
+            configs[p], protocol, spec.base_seed, reps, spec.options, spec.threads);
+        for (core::RunResult& run : replicated.runs) runs.push_back(std::move(run));
+      }
+    }
+  }
+
+  // Fold back per (point, protocol) in expansion order.
+  result.points.reserve(grid.size());
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    PointResult point_result;
+    point_result.point = grid[p];
+    point_result.config = configs[p];
+    point_result.protocols.reserve(protocol_count);
+    for (std::size_t pr = 0; pr < protocol_count; ++pr) {
+      const std::size_t base = (p * protocol_count + pr) * reps;
+      std::vector<core::RunResult> slice(runs.begin() + static_cast<std::ptrdiff_t>(base),
+                                         runs.begin() + static_cast<std::ptrdiff_t>(base + reps));
+      point_result.protocols.push_back({spec.protocols[pr], core::fold_runs(std::move(slice))});
+    }
+    result.points.push_back(std::move(point_result));
+  }
+
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  return result;
+}
+
+util::TableWriter summary_table(const ScenarioResult& result) {
+  std::vector<std::string> headers = result.axis_keys;
+  for (const char* column :
+       {"protocol", "lifetime_s", "first_death_s", "delivery_rate", "mean_delay_s",
+        "p95_delay_s", "energy_per_packet_j", "throughput_bps", "queue_stddev",
+        "consumed_j", "reps"}) {
+    headers.emplace_back(column);
+  }
+  util::TableWriter table(std::move(headers));
+  for (const PointResult& point : result.points) {
+    for (const ProtocolResult& entry : point.protocols) {
+      table.new_row();
+      for (const auto& [key, value] : point.point.assignments) {
+        (void)key;
+        table.cell(value);
+      }
+      const core::Replicated& r = entry.replicated;
+      table.cell(std::string(core::to_string(entry.protocol)))
+          .cell(r.lifetime_s.mean(), 1)
+          .cell(r.first_death_s.mean(), 1)
+          .cell(r.delivery_rate.mean(), 4)
+          .cell(r.mean_delay_s.mean(), 4)
+          .cell(r.p95_delay_s.mean(), 4)
+          .cell(r.energy_per_packet_j.mean(), 6)
+          .cell(r.throughput_bps.mean(), 0)
+          .cell(r.queue_stddev.mean(), 3)
+          .cell(r.total_consumed_j.mean(), 2)
+          .cell(r.runs.size());
+    }
+  }
+  return table;
+}
+
+namespace {
+void write_with(const util::TableWriter& table, const std::string& path, const char* what,
+                void (util::TableWriter::*render)(std::ostream&) const, std::ostream& log) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error(std::string("cannot write ") + what + " to '" + path + "'");
+  (table.*render)(out);
+  log << "wrote " << what << ": " << path << "\n";
+}
+}  // namespace
+
+void write_outputs(const ScenarioResult& result, const ScenarioSpec& spec, std::ostream& log) {
+  if (spec.csv_path.empty() && spec.json_path.empty()) return;
+  const util::TableWriter table = summary_table(result);
+  if (!spec.csv_path.empty()) {
+    write_with(table, spec.csv_path, "csv", &util::TableWriter::render_csv, log);
+  }
+  if (!spec.json_path.empty()) {
+    write_with(table, spec.json_path, "json", &util::TableWriter::render_json, log);
+  }
+}
+
+}  // namespace caem::scenario

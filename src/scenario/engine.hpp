@@ -1,0 +1,62 @@
+// engine.hpp — execute a ScenarioSpec as one flattened job queue.
+//
+// The old figure benches ran nested loops with a barrier per (point,
+// protocol): each run_replicated call spun up its own pool of `reps`
+// workers, joined it, then moved on — so a 6-point, 3-protocol sweep
+// was 18 sequential barriers of tiny width and the pool drained to one
+// straggler 18 times.  The engine instead expands the whole
+// (grid point x protocol x replication) cross product up front and
+// feeds it to a single parallel_runs queue — the irregular-wavefront
+// idiom (arXiv:1605.00930): keep every worker busy as long as ANY job
+// remains, regardless of which sweep point it belongs to.  Results are
+// folded back per (point, protocol) afterwards; folding is cheap and
+// sequential, so determinism is preserved bit-for-bit: job (p, proto,
+// rep) always runs seed base_seed + rep on an identical config,
+// whatever thread picks it up.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "util/table_writer.hpp"
+
+namespace caem::scenario {
+
+/// Folded replications of one protocol at one grid point.
+struct ProtocolResult {
+  core::Protocol protocol = core::Protocol::kPureLeach;
+  core::Replicated replicated;
+};
+
+/// One grid point: its materialised config and per-protocol summaries
+/// (aligned with ScenarioSpec::protocols).
+struct PointResult {
+  GridPoint point;
+  core::NetworkConfig config;
+  std::vector<ProtocolResult> protocols;
+};
+
+struct ScenarioResult {
+  std::string scenario_name;
+  std::vector<std::string> axis_keys;  ///< sorted, matches assignment order
+  std::vector<PointResult> points;     ///< grid expansion order
+  std::size_t total_jobs = 0;
+  double wall_s = 0.0;  ///< end-to-end engine time (expansion + runs + fold)
+};
+
+/// Run the scenario.  spec.flatten=false falls back to the legacy
+/// per-point run_replicated barriers (kept for A/B perf measurement and
+/// as a determinism cross-check — both modes produce identical results).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Summary table: one row per (point, protocol) with the axis columns
+/// first, then the headline scalars.
+[[nodiscard]] util::TableWriter summary_table(const ScenarioResult& result);
+
+/// Write spec-requested artifacts (CSV/JSON of the summary table);
+/// logs each written path to `log`.  Throws on unwritable paths.
+void write_outputs(const ScenarioResult& result, const ScenarioSpec& spec, std::ostream& log);
+
+}  // namespace caem::scenario

@@ -1,0 +1,77 @@
+// scenario_spec.hpp — declarative description of one experiment sweep.
+//
+// A scenario is a plain key=value file (util::Config syntax: comments,
+// includes, CRLF tolerated) with three reserved prefixes:
+//
+//   scenario.*   run control: name, protocols, seed, reps, max_sim_s,
+//                run_to_death, flatten, threads
+//   sweep.*      grid axes over NetworkConfig keys (list:/range: specs)
+//   output.*     artifact paths: output.csv, output.json
+//
+// Every other key is a NetworkConfig override applied to the base
+// config of every grid point.  Unknown keys — in any namespace — are a
+// hard error, so a typo'd scenario can never silently run the wrong
+// experiment (the bug class this subsystem was built to kill).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "core/simulation_runner.hpp"
+#include "scenario/sweep.hpp"
+#include "util/config.hpp"
+
+namespace caem::scenario {
+
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  std::vector<core::Protocol> protocols{core::kAllProtocols,
+                                        core::kAllProtocols + 3};
+  std::uint64_t base_seed = 2005;
+  std::size_t replications = 2;
+  core::RunOptions options;   ///< scenario.max_sim_s / scenario.run_to_death
+  bool flatten = true;        ///< false = legacy per-point barriers (perf A/B)
+  std::size_t threads = 0;    ///< 0 = hardware concurrency
+
+  /// Starting NetworkConfig before file/CLI overrides (benches seed this
+  /// with their parsed CLI config; the file path starts from defaults).
+  core::NetworkConfig base_config;
+  /// NetworkConfig overrides shared by every grid point.
+  util::Config base_overrides;
+  /// Sweep axes in sorted key order (deterministic expansion).
+  std::vector<Axis> axes;
+
+  std::string csv_path;   ///< output.csv ("" = skip)
+  std::string json_path;  ///< output.json ("" = skip)
+
+  /// Load a scenario file.  Throws std::invalid_argument on syntax
+  /// errors, unknown keys, bad axis specs or inconsistent config values.
+  static ScenarioSpec from_file(const std::string& path);
+
+  /// Build from an already-parsed Config (same key namespace as files).
+  static ScenarioSpec from_config(const util::Config& config);
+
+  /// Apply `key=value` CLI overrides on top of a loaded spec.  Accepts
+  /// the full file namespace (scenario.*, sweep.*, output.*, config
+  /// keys); a `sweep.` override replaces that axis.  Throws on unknown
+  /// keys.
+  void apply_cli_overrides(const util::Config& overrides);
+
+  /// Materialise the NetworkConfig of one grid point: base_config +
+  /// base_overrides + the point's axis assignments, then validate().
+  /// Throws std::invalid_argument naming any unknown override key.
+  [[nodiscard]] core::NetworkConfig config_at(const GridPoint& point) const;
+
+  /// grid_size(axes) * protocols * replications — the flattened queue
+  /// length.
+  [[nodiscard]] std::size_t total_jobs() const;
+
+ private:
+  void apply_entry(const std::string& key, const std::string& value);
+  void validate_base_overrides() const;
+};
+
+}  // namespace caem::scenario

@@ -1,0 +1,131 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/config.hpp"
+
+namespace caem::scenario {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_number(const std::string& key, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing chars");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("sweep axis '" + key + "': '" + text + "' is not a number");
+  }
+}
+
+/// Shortest default-precision formatting ("5", "12.5") so range axes
+/// produce the same strings a human would type in a list.
+std::string format_value(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+Axis parse_axis(const std::string& key, const std::string& spec) {
+  Axis axis;
+  axis.key = key;
+  if (spec.rfind("list:", 0) == 0) {
+    for (const std::string& part : split(spec.substr(5), ',')) {
+      const std::string value = util::trim(part);
+      if (value.empty()) {
+        throw std::invalid_argument("sweep axis '" + key + "': empty value in list '" + spec +
+                                    "'");
+      }
+      axis.values.push_back(value);
+    }
+    return axis;
+  }
+  if (spec.rfind("range:", 0) == 0) {
+    const auto parts = split(spec.substr(6), ':');
+    if (parts.size() != 3) {
+      throw std::invalid_argument("sweep axis '" + key +
+                                  "': expected range:start:stop:step, got '" + spec + "'");
+    }
+    const double start = parse_number(key, util::trim(parts[0]));
+    const double stop = parse_number(key, util::trim(parts[1]));
+    const double step = parse_number(key, util::trim(parts[2]));
+    if (step <= 0.0 || stop < start) {
+      throw std::invalid_argument("sweep axis '" + key +
+                                  "': range needs step > 0 and stop >= start ('" + spec + "')");
+    }
+    // Inclusive endpoints with an epsilon so e.g. 5:30:5 lands on 30.
+    const auto count =
+        static_cast<std::size_t>(std::floor((stop - start) / step + 1e-9)) + 1;
+    axis.values.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      axis.values.push_back(format_value(start + static_cast<double>(i) * step));
+    }
+    return axis;
+  }
+  throw std::invalid_argument("sweep axis '" + key + "': value must start with list: or range: ('" +
+                              spec + "')");
+}
+
+std::size_t grid_size(const std::vector<Axis>& axes) {
+  std::size_t total = 1;
+  for (const Axis& axis : axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("sweep axis '" + axis.key + "' has no values");
+    }
+    total *= axis.values.size();
+  }
+  return total;
+}
+
+std::vector<GridPoint> expand_grid(const std::vector<Axis>& axes) {
+  const std::size_t total = grid_size(axes);
+  std::vector<GridPoint> points;
+  points.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    GridPoint point;
+    point.index = index;
+    point.assignments.reserve(axes.size());
+    // Odometer decode: last axis varies fastest.
+    std::size_t remainder = index;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      const std::size_t pick = remainder % axes[a].values.size();
+      remainder /= axes[a].values.size();
+      point.assignments.emplace_back(axes[a].key, axes[a].values[pick]);
+    }
+    std::reverse(point.assignments.begin(), point.assignments.end());
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::string describe(const GridPoint& point) {
+  if (point.assignments.empty()) return "(baseline)";
+  std::string label;
+  for (const auto& [key, value] : point.assignments) {
+    if (!label.empty()) label += ", ";
+    label += key + "=" + value;
+  }
+  return label;
+}
+
+}  // namespace caem::scenario

@@ -1,0 +1,50 @@
+// sweep.hpp — parameter-grid axes and cartesian expansion.
+//
+// A scenario file declares sweep axes as `sweep.<config_key> = list:...`
+// or `sweep.<config_key> = range:start:stop:step`; this layer parses the
+// value specs and expands the cartesian product into a deterministic,
+// ordered list of grid points the engine flattens into one job queue.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace caem::scenario {
+
+/// One swept parameter: a config key and its ordered candidate values
+/// (kept as strings so the same machinery sweeps numeric and symbolic
+/// knobs alike — values are type-checked when a grid point's
+/// NetworkConfig is built).
+struct Axis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parse an axis value spec:
+///   `list:v1,v2,v3`          explicit values (trimmed, empties rejected)
+///   `range:start:stop:step`  inclusive numeric range (step > 0)
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] Axis parse_axis(const std::string& key, const std::string& spec);
+
+/// One cell of the cartesian grid: `assignments` pairs each axis key
+/// with the value chosen for this point, in axis order.
+struct GridPoint {
+  std::size_t index = 0;  ///< position in expansion order
+  std::vector<std::pair<std::string, std::string>> assignments;
+};
+
+/// Number of points `expand_grid` will produce (1 for no axes).
+[[nodiscard]] std::size_t grid_size(const std::vector<Axis>& axes);
+
+/// Expand the cartesian product.  Ordering is deterministic: axes vary
+/// odometer-style with the LAST axis fastest; with no axes the grid is a
+/// single empty point (one unswep run).  Throws std::invalid_argument
+/// on an axis with no values.
+[[nodiscard]] std::vector<GridPoint> expand_grid(const std::vector<Axis>& axes);
+
+/// "key=v1, key2=v2" label for tables and logs ("(baseline)" when empty).
+[[nodiscard]] std::string describe(const GridPoint& point);
+
+}  // namespace caem::scenario

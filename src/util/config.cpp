@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,6 +18,34 @@ std::string trim(const std::string& text) {
   return std::string(begin, end);
 }
 
+Config::Config(const Config& other) {
+  const std::lock_guard<std::mutex> lock(other.consumed_mutex_);
+  entries_ = other.entries_;
+  consumed_ = other.consumed_;
+}
+
+Config::Config(Config&& other) noexcept {
+  const std::lock_guard<std::mutex> lock(other.consumed_mutex_);
+  entries_ = std::move(other.entries_);
+  consumed_ = std::move(other.consumed_);
+}
+
+Config& Config::operator=(const Config& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(consumed_mutex_, other.consumed_mutex_);
+  entries_ = other.entries_;
+  consumed_ = other.consumed_;
+  return *this;
+}
+
+Config& Config::operator=(Config&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(consumed_mutex_, other.consumed_mutex_);
+  entries_ = std::move(other.entries_);
+  consumed_ = std::move(other.consumed_);
+  return *this;
+}
+
 Config Config::from_args(const std::vector<std::string>& tokens) {
   Config config;
   for (const auto& token : tokens) {
@@ -28,21 +58,65 @@ Config Config::from_args(const std::vector<std::string>& tokens) {
   return config;
 }
 
+namespace {
+
+/// Parse one logical line ('#' comment already possible, CRLF tolerated
+/// via trim).  Returns false on a blank/comment-only line.
+void parse_config_line(Config& config, const std::string& raw, const std::string& where) {
+  std::string line = raw;
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  line = trim(line);
+  if (line.empty()) return;
+  const auto eq = line.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("Config: expected key = value" + where + ", got '" + line + "'");
+  }
+  config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+}
+
+void parse_file_into(Config& config, const std::filesystem::path& path, int depth) {
+  if (depth > 8) {
+    throw std::invalid_argument("Config: include depth exceeded at '" + path.string() +
+                                "' (cycle?)");
+  }
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("Config: cannot open file '" + path.string() + "'");
+  }
+  const std::string where = " in " + path.string();
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments before testing for an include so a commented-out
+    // directive stays inert.
+    std::string stripped = line;
+    const auto hash = stripped.find('#');
+    if (hash != std::string::npos) stripped.erase(hash);
+    stripped = trim(stripped);
+    if (stripped.rfind("include ", 0) == 0) {
+      const std::filesystem::path target = trim(stripped.substr(8));
+      const std::filesystem::path resolved =
+          target.is_absolute() ? target : path.parent_path() / target;
+      parse_file_into(config, resolved, depth + 1);
+      continue;
+    }
+    parse_config_line(config, line, where);
+  }
+}
+
+}  // namespace
+
 Config Config::from_text(const std::string& text) {
   Config config;
   std::istringstream in(text);
   std::string line;
-  while (std::getline(in, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    line = trim(line);
-    if (line.empty()) continue;
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) {
-      throw std::invalid_argument("Config: expected key = value, got '" + line + "'");
-    }
-    config.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
-  }
+  while (std::getline(in, line)) parse_config_line(config, line, "");
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  Config config;
+  parse_file_into(config, std::filesystem::path(path), 0);
   return config;
 }
 
@@ -53,17 +127,22 @@ void Config::set(const std::string& key, const std::string& value) {
 
 bool Config::has(const std::string& key) const { return entries_.count(key) != 0; }
 
+void Config::mark_consumed(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(consumed_mutex_);
+  consumed_[key] = true;
+}
+
 std::string Config::get_string(const std::string& key, const std::string& fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
-  consumed_[key] = true;
+  mark_consumed(key);
   return it->second;
 }
 
 double Config::get_double(const std::string& key, double fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
-  consumed_[key] = true;
+  mark_consumed(key);
   try {
     std::size_t used = 0;
     const double value = std::stod(it->second, &used);
@@ -77,7 +156,7 @@ double Config::get_double(const std::string& key, double fallback) const {
 long long Config::get_int(const std::string& key, long long fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
-  consumed_[key] = true;
+  mark_consumed(key);
   try {
     std::size_t used = 0;
     const long long value = std::stoll(it->second, &used);
@@ -92,7 +171,7 @@ long long Config::get_int(const std::string& key, long long fallback) const {
 bool Config::get_bool(const std::string& key, bool fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
-  consumed_[key] = true;
+  mark_consumed(key);
   std::string lowered = it->second;
   std::transform(lowered.begin(), lowered.end(), lowered.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
@@ -102,12 +181,17 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
 }
 
 std::vector<std::string> Config::unconsumed() const {
+  const std::lock_guard<std::mutex> lock(consumed_mutex_);
   std::vector<std::string> keys;
   for (const auto& [key, value] : entries_) {
     (void)value;
     if (!consumed_.count(key)) keys.push_back(key);
   }
   return keys;
+}
+
+std::vector<std::pair<std::string, std::string>> Config::entries() const {
+  return {entries_.begin(), entries_.end()};
 }
 
 }  // namespace caem::util

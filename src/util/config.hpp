@@ -2,12 +2,24 @@
 //
 // Examples and benchmarks accept `key=value` command-line overrides so a
 // user can sweep parameters without recompiling; this class parses and
-// type-checks them.
+// type-checks them.  Scenario files (see scenario/) load through
+// `from_file`, which adds comments, `include` directives and CRLF
+// tolerance on top of the same syntax.
+//
+// Thread-safety contract: the typed getters are `const` but record which
+// keys were read (for `unconsumed()` typo detection).  That bookkeeping
+// is guarded by an internal mutex, so concurrent getter calls on one
+// shared Config are safe.  Mutating calls (`set`) are NOT synchronised
+// against readers — parse and populate first, then share.  The sweep
+// engine additionally snapshots each grid point's NetworkConfig before
+// fanning out, so worker threads never touch a shared Config at all.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace caem::util {
@@ -17,13 +29,25 @@ namespace caem::util {
 class Config {
  public:
   Config() = default;
+  Config(const Config& other);
+  Config(Config&& other) noexcept;
+  Config& operator=(const Config& other);
+  Config& operator=(Config&& other) noexcept;
 
   /// Parse `key=value` tokens (e.g. from argv).  Throws
   /// std::invalid_argument on a token without '='.
   static Config from_args(const std::vector<std::string>& tokens);
 
-  /// Parse newline-separated `key = value` text ('#' starts a comment).
+  /// Parse newline-separated `key = value` text ('#' starts a comment,
+  /// CRLF line endings are tolerated, empty values are allowed, a
+  /// duplicated key keeps the last value).
   static Config from_text(const std::string& text);
+
+  /// Parse a file with `from_text` semantics plus `include <path>`
+  /// directives (paths resolve relative to the including file; included
+  /// keys can be overridden by later lines).  Throws
+  /// std::invalid_argument on a missing file or an include cycle.
+  static Config from_file(const std::string& path);
 
   void set(const std::string& key, const std::string& value);
 
@@ -37,13 +61,22 @@ class Config {
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
 
   /// Keys never read through a getter (typo detection for CLIs).
+  /// Returns a snapshot; concurrent getters may consume keys after it is
+  /// taken.
   [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+  /// All (key, value) pairs in sorted key order.  Does not mark anything
+  /// consumed — scenario parsing dispatches on prefixes itself.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> entries() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
  private:
+  void mark_consumed(const std::string& key) const;
+
   std::map<std::string, std::string> entries_;
   mutable std::map<std::string, bool> consumed_;
+  mutable std::mutex consumed_mutex_;
 };
 
 /// Trim ASCII whitespace from both ends.

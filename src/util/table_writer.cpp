@@ -1,6 +1,7 @@
 #include "util/table_writer.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <iomanip>
 #include <sstream>
 
@@ -72,6 +73,71 @@ std::string csv_escape(const std::string& cell) {
   return escaped;
 }
 }  // namespace
+
+namespace {
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      default: escaped += c; break;
+    }
+  }
+  return escaped;
+}
+
+/// Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+/// strtod is too permissive here — it accepts ".5", "nan", "inf" and hex,
+/// all of which are invalid JSON and would corrupt the emitted artifact.
+bool is_numeric_cell(const std::string& cell) {
+  std::size_t i = 0;
+  const std::size_t n = cell.size();
+  const auto digits = [&] {
+    const std::size_t start = i;
+    while (i < n && std::isdigit(static_cast<unsigned char>(cell[i]))) ++i;
+    return i > start;
+  };
+  if (i < n && cell[i] == '-') ++i;
+  if (i < n && cell[i] == '0') {
+    ++i;
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < n && cell[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n && n > 0;
+}
+}  // namespace
+
+void TableWriter::render_json(std::ostream& out) const {
+  out << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "  {";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < rows_[r].size() ? rows_[r][i] : std::string{};
+      if (i) out << ", ";
+      out << '"' << json_escape(headers_[i]) << "\": ";
+      if (is_numeric_cell(cell)) {
+        out << cell;
+      } else {
+        out << '"' << json_escape(cell) << '"';
+      }
+    }
+    out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+}
 
 void TableWriter::render_csv(std::ostream& out) const {
   const auto print_row = [&](const std::vector<std::string>& row) {

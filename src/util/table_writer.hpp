@@ -32,6 +32,11 @@ class TableWriter {
   /// Render as CSV (RFC-4180-ish: quote cells containing commas/quotes).
   void render_csv(std::ostream& out) const;
 
+  /// Render as a JSON array of row objects keyed by header.  Cells that
+  /// parse fully as numbers are emitted unquoted; everything else is a
+  /// JSON string.
+  void render_json(std::ostream& out) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,6 +1,9 @@
 // Tests for util::Config and util::Logger.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <thread>
 #include <vector>
 
 #include "util/config.hpp"
@@ -48,6 +51,86 @@ TEST(Config, UnconsumedDetectsTypos) {
   const auto leftover = config.unconsumed();
   ASSERT_EQ(leftover.size(), 1u);
   EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(Config, FromTextCrlfEmptyValuesAndDuplicates) {
+  const Config config = Config::from_text("a = 1\r\nempty =\r\ndup = first\ndup = second\r\n");
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  // Empty values are legal and distinct from absent keys.
+  EXPECT_TRUE(config.has("empty"));
+  EXPECT_EQ(config.get_string("empty", "fallback"), "");
+  // A duplicated key keeps the last value.
+  EXPECT_EQ(config.get_string("dup", ""), "second");
+  EXPECT_EQ(config.size(), 3u);
+}
+
+TEST(Config, FromFileWithIncludesAndOverrides) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "caem_cfg_test";
+  fs::create_directories(dir / "nested");
+  {
+    std::ofstream common(dir / "nested" / "common.cfg");
+    common << "shared = 1\noverridden = from_include\n";
+  }
+  {
+    std::ofstream main_file(dir / "main.cfg");
+    main_file << "# include resolves relative to the including file\r\n"
+              << "include nested/common.cfg\n"
+              << "overridden = from_main\n"
+              << "# include below is commented out and must stay inert\n"
+              << "# include nested/common.cfg\n";
+  }
+  const Config config = Config::from_file((dir / "main.cfg").string());
+  EXPECT_EQ(config.get_int("shared", 0), 1);
+  EXPECT_EQ(config.get_string("overridden", ""), "from_main");
+  EXPECT_EQ(config.size(), 2u);
+  EXPECT_THROW((void)Config::from_file((dir / "absent.cfg").string()), std::invalid_argument);
+  fs::remove_all(dir);
+}
+
+TEST(Config, FromFileRejectsIncludeCycles) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "caem_cfg_cycle";
+  fs::create_directories(dir);
+  {
+    std::ofstream self(dir / "self.cfg");
+    self << "include self.cfg\n";
+  }
+  EXPECT_THROW((void)Config::from_file((dir / "self.cfg").string()), std::invalid_argument);
+  fs::remove_all(dir);
+}
+
+TEST(Config, EntriesSnapshotSortedAndUnconsumedAfterCopy) {
+  const Config config = Config::from_args({"zeta=1", "alpha=2"});
+  const auto entries = config.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "alpha");
+  EXPECT_EQ(entries[1].first, "zeta");
+  // entries() does not consume; copies carry consumption state.
+  EXPECT_EQ(config.unconsumed().size(), 2u);
+  (void)config.get_int("alpha", 0);
+  const Config copy = config;
+  ASSERT_EQ(copy.unconsumed().size(), 1u);
+  EXPECT_EQ(copy.unconsumed()[0], "zeta");
+}
+
+TEST(Config, ConcurrentGettersAreSafe) {
+  // Const getters mutate the consumed-tracking map behind a mutex; this
+  // exercises the contract under a thread sanitizer / stress run.
+  Config config;
+  for (int i = 0; i < 64; ++i) config.set("key" + std::to_string(i), "1");
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&config] {
+      for (int i = 0; i < 64; ++i) {
+        (void)config.get_int("key" + std::to_string(i), 0);
+        (void)config.unconsumed();
+      }
+    });
+  }
+  for (auto& thread : readers) thread.join();
+  EXPECT_TRUE(config.unconsumed().empty());
 }
 
 TEST(Config, BoolSpellings) {

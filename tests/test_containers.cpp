@@ -85,6 +85,26 @@ TEST(TableWriter, CsvEscapesSpecials) {
   EXPECT_NE(out.str().find("\"say \"\"hi\"\"\""), std::string::npos);
 }
 
+TEST(TableWriter, JsonQuotesOnlyStrictJsonNumbers) {
+  TableWriter table({"a", "b", "c", "d", "e", "f"});
+  table.new_row()
+      .cell(std::string("5"))
+      .cell(std::string("-0.5"))
+      .cell(std::string("1.5e-3"))
+      .cell(std::string(".5"))     // strtod-valid but NOT valid JSON
+      .cell(std::string("nan"))    // ditto
+      .cell(std::string("05"));    // leading zero: invalid JSON
+  std::ostringstream out;
+  table.render_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"a\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"b\": -0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 1.5e-3"), std::string::npos);
+  EXPECT_NE(json.find("\"d\": \".5\""), std::string::npos);
+  EXPECT_NE(json.find("\"e\": \"nan\""), std::string::npos);
+  EXPECT_NE(json.find("\"f\": \"05\""), std::string::npos);
+}
+
 TEST(TableWriter, NumericCells) {
   TableWriter table({"n", "x"});
   table.new_row().cell(std::size_t{42}).cell(3.14159, 2);

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "core/experiment.hpp"
 
@@ -57,6 +59,65 @@ TEST(ParallelRuns, MatchesSequentialSimulation) {
       3);
   EXPECT_EQ(parallel[0].generated, sequential.generated);
   EXPECT_DOUBLE_EQ(parallel[0].total_consumed_j, sequential.total_consumed_j);
+}
+
+TEST(FoldRuns, GuardsDelayAndDeliveryAgainstZeroDeliveryRuns) {
+  RunResult delivered;
+  delivered.delivered_air = 10;
+  delivered.delivery_rate = 0.8;
+  delivered.mean_delay_s = 2.0;
+  delivered.p95_delay_s = 5.0;
+  delivered.energy_per_delivered_packet_j = 0.01;
+  delivered.throughput_bps = 1000.0;
+  RunResult starved;  // no over-the-air delivery: its delay/delivery
+  starved.delivered_air = 0;  // scalars are meaningless zeros
+  starved.delivery_rate = 0.0;
+  starved.mean_delay_s = 0.0;
+  starved.p95_delay_s = 0.0;
+  starved.throughput_bps = 500.0;
+  const Replicated summary = fold_runs({delivered, starved});
+  // Regression: the starved run must not drag these means toward 0.
+  EXPECT_EQ(summary.delivery_rate.count(), 1u);
+  EXPECT_DOUBLE_EQ(summary.delivery_rate.mean(), 0.8);
+  EXPECT_EQ(summary.mean_delay_s.count(), 1u);
+  EXPECT_DOUBLE_EQ(summary.mean_delay_s.mean(), 2.0);
+  EXPECT_EQ(summary.p95_delay_s.count(), 1u);
+  EXPECT_DOUBLE_EQ(summary.p95_delay_s.mean(), 5.0);
+  EXPECT_EQ(summary.energy_per_packet_j.count(), 1u);
+  // Scalars that stay meaningful without deliveries still fold all runs.
+  EXPECT_EQ(summary.throughput_bps.count(), 2u);
+  EXPECT_EQ(summary.runs.size(), 2u);
+}
+
+TEST(ParallelRuns, FlattenedQueueOutpacesPerPointBarriers) {
+  // The scheduling property behind the sweep engine: one queue over the
+  // whole (point x protocol x rep) cross product keeps all workers busy,
+  // while per-cell pools drain to their straggler before the next cell
+  // starts.  Sleep-based jobs emulate the imbalance without CPU load.
+  constexpr std::size_t kCells = 8;
+  constexpr std::size_t kReps = 2;
+  constexpr std::size_t kThreads = 8;
+  const auto job_ms = [](std::size_t cell, std::size_t rep) {
+    return 10 + 7 * ((3 * cell + rep) % 5);
+  };
+  const auto sleepy = [&](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(job_ms(i / kReps, i % kReps)));
+    return RunResult{};
+  };
+  const auto tick = [] { return std::chrono::steady_clock::now(); };
+  const auto t0 = tick();
+  (void)parallel_runs(kCells * kReps, sleepy, kThreads);
+  const double flat_s = std::chrono::duration<double>(tick() - t0).count();
+  const auto t1 = tick();
+  for (std::size_t cell = 0; cell < kCells; ++cell) {
+    (void)parallel_runs(kReps, [&](std::size_t rep) { return sleepy(cell * kReps + rep); },
+                        kThreads);
+  }
+  const double barrier_s = std::chrono::duration<double>(tick() - t1).count();
+  // Flat bound ~= sum(job)/threads (~40 ms); barrier bound = sum of
+  // per-cell maxima (~190 ms).  Generous margin for loaded CI machines.
+  EXPECT_LT(flat_s, 0.7 * barrier_s)
+      << "flat " << flat_s << " s vs barrier " << barrier_s << " s";
 }
 
 TEST(RunReplicated, FoldsScalars) {

@@ -1,0 +1,231 @@
+// Tests for the scenario subsystem: axis parsing, grid expansion, spec
+// dispatch/rejection, and the flattened sweep engine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/engine.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/sweep.hpp"
+
+namespace caem::scenario {
+namespace {
+
+// ------------------------------------------------------------------ axes
+
+TEST(Axis, ParsesListWithTrimming) {
+  const Axis axis = parse_axis("traffic_rate_pps", "list: 5 , 10 ,15");
+  EXPECT_EQ(axis.key, "traffic_rate_pps");
+  ASSERT_EQ(axis.values.size(), 3u);
+  EXPECT_EQ(axis.values[0], "5");
+  EXPECT_EQ(axis.values[1], "10");
+  EXPECT_EQ(axis.values[2], "15");
+}
+
+TEST(Axis, ParsesInclusiveRange) {
+  const Axis axis = parse_axis("load", "range:5:30:5");
+  ASSERT_EQ(axis.values.size(), 6u);
+  EXPECT_EQ(axis.values.front(), "5");
+  EXPECT_EQ(axis.values.back(), "30");
+  const Axis fractional = parse_axis("x", "range:0.5:2:0.5");
+  ASSERT_EQ(fractional.values.size(), 4u);
+  EXPECT_EQ(fractional.values[1], "1");
+  EXPECT_EQ(fractional.values[3], "2");
+}
+
+TEST(Axis, RejectsBadSpecs) {
+  EXPECT_THROW((void)parse_axis("k", "5,10"), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("k", "list:5,,10"), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("k", "range:5:30"), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("k", "range:5:30:0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("k", "range:30:5:5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("k", "range:a:b:c"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ grid
+
+TEST(Grid, CartesianCountAndDeterministicOrder) {
+  const std::vector<Axis> axes = {{"a", {"1", "2"}}, {"b", {"x", "y", "z"}}};
+  EXPECT_EQ(grid_size(axes), 6u);
+  const auto grid = expand_grid(axes);
+  ASSERT_EQ(grid.size(), 6u);
+  // Last axis fastest: (1,x) (1,y) (1,z) (2,x) ...
+  EXPECT_EQ(describe(grid[0]), "a=1, b=x");
+  EXPECT_EQ(describe(grid[1]), "a=1, b=y");
+  EXPECT_EQ(describe(grid[3]), "a=2, b=x");
+  EXPECT_EQ(grid[5].index, 5u);
+  EXPECT_EQ(describe(grid[5]), "a=2, b=z");
+}
+
+TEST(Grid, NoAxesIsSingleBaselinePoint) {
+  const auto grid = expand_grid({});
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid[0].assignments.empty());
+  EXPECT_EQ(describe(grid[0]), "(baseline)");
+}
+
+TEST(Grid, EmptyAxisRejected) {
+  EXPECT_THROW((void)grid_size({Axis{"a", {}}}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ spec
+
+TEST(Spec, ParsesScenarioKeysAndConfigOverrides) {
+  const ScenarioSpec spec = ScenarioSpec::from_config(util::Config::from_text(
+      "scenario.name = demo\n"
+      "scenario.protocols = leach, scheme2\n"
+      "scenario.seed = 7\n"
+      "scenario.reps = 3\n"
+      "scenario.max_sim_s = 25\n"
+      "scenario.run_to_death = true\n"
+      "sweep.traffic_rate_pps = list:5,10\n"
+      "node_count = 20\n"
+      "output.csv = out.csv\n"));
+  EXPECT_EQ(spec.name, "demo");
+  ASSERT_EQ(spec.protocols.size(), 2u);
+  EXPECT_EQ(spec.protocols[1], core::Protocol::kCaemScheme2);
+  EXPECT_EQ(spec.base_seed, 7u);
+  EXPECT_EQ(spec.replications, 3u);
+  EXPECT_DOUBLE_EQ(spec.options.max_sim_s, 25.0);
+  EXPECT_TRUE(spec.options.run_to_death);
+  EXPECT_EQ(spec.csv_path, "out.csv");
+  EXPECT_EQ(spec.total_jobs(), 2u * 2u * 3u);
+  const auto grid = expand_grid(spec.axes);
+  const core::NetworkConfig config = spec.config_at(grid[1]);
+  EXPECT_EQ(config.node_count, 20u);
+  EXPECT_DOUBLE_EQ(config.traffic_rate_pps, 10.0);
+}
+
+TEST(Spec, RejectsUnknownKeysEverywhere) {
+  // Typo'd config key.
+  EXPECT_THROW((void)ScenarioSpec::from_config(util::Config::from_text("dopler_hz = 5\n")),
+               std::invalid_argument);
+  // Typo'd scenario field.
+  EXPECT_THROW(
+      (void)ScenarioSpec::from_config(util::Config::from_text("scenario.repz = 3\n")),
+      std::invalid_argument);
+  // Unknown output kind.
+  EXPECT_THROW((void)ScenarioSpec::from_config(util::Config::from_text("output.xml = x\n")),
+               std::invalid_argument);
+  // Sweep over a key NetworkConfig does not know.
+  EXPECT_THROW((void)ScenarioSpec::from_config(
+                   util::Config::from_text("sweep.bogus_knob = list:1,2\n")),
+               std::invalid_argument);
+  // Value that fails NetworkConfig::validate.
+  EXPECT_THROW((void)ScenarioSpec::from_config(util::Config::from_text("node_count = 1\n")),
+               std::invalid_argument);
+}
+
+TEST(Spec, CliOverridesReplaceAxesAndFields) {
+  ScenarioSpec spec = ScenarioSpec::from_config(
+      util::Config::from_text("sweep.traffic_rate_pps = list:5,10,15\n"));
+  spec.apply_cli_overrides(util::Config::from_args(
+      {"sweep.traffic_rate_pps=list:20", "scenario.reps=5", "node_count=30"}));
+  ASSERT_EQ(spec.axes.size(), 1u);
+  ASSERT_EQ(spec.axes[0].values.size(), 1u);
+  EXPECT_EQ(spec.axes[0].values[0], "20");
+  EXPECT_EQ(spec.replications, 5u);
+  EXPECT_THROW(spec.apply_cli_overrides(util::Config::from_args({"typo_key=1"})),
+               std::invalid_argument);
+}
+
+TEST(Spec, LoadsFileWithInclude) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "caem_scn_test";
+  fs::create_directories(dir);
+  {
+    std::ofstream base(dir / "base.scn");
+    base << "scenario.name = base\r\nnode_count = 25\nscenario.max_sim_s = 10\n";
+  }
+  {
+    std::ofstream derived(dir / "derived.scn");
+    derived << "include base.scn\n"
+            << "scenario.name = derived  # override after include\n"
+            << "sweep.traffic_rate_pps = list:4,8\n";
+  }
+  const ScenarioSpec spec = ScenarioSpec::from_file((dir / "derived.scn").string());
+  EXPECT_EQ(spec.name, "derived");
+  EXPECT_DOUBLE_EQ(spec.options.max_sim_s, 10.0);
+  ASSERT_EQ(spec.axes.size(), 1u);
+  const core::NetworkConfig config = spec.config_at(expand_grid(spec.axes)[0]);
+  EXPECT_EQ(config.node_count, 25u);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------- engine
+
+ScenarioSpec tiny_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.base_config.node_count = 10;
+  spec.base_config.field_size_m = 40.0;
+  spec.base_config.ch_fraction = 0.2;
+  spec.base_config.round_duration_s = 5.0;
+  spec.base_seed = 42;
+  spec.replications = 2;
+  spec.options.max_sim_s = 8.0;
+  spec.protocols = {core::Protocol::kPureLeach, core::Protocol::kCaemScheme2};
+  spec.axes = {Axis{"traffic_rate_pps", {"3", "6"}}};
+  return spec;
+}
+
+TEST(Engine, FoldsPerPointPerProtocol) {
+  const ScenarioResult result = run_scenario(tiny_spec());
+  EXPECT_EQ(result.total_jobs, 8u);
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const PointResult& point : result.points) {
+    ASSERT_EQ(point.protocols.size(), 2u);
+    for (const ProtocolResult& entry : point.protocols) {
+      EXPECT_EQ(entry.replicated.runs.size(), 2u);
+      EXPECT_GT(entry.replicated.total_consumed_j.mean(), 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.points[0].config.traffic_rate_pps, 3.0);
+  EXPECT_DOUBLE_EQ(result.points[1].config.traffic_rate_pps, 6.0);
+}
+
+TEST(Engine, FlattenedMatchesBarrierAndRunReplicated) {
+  ScenarioSpec spec = tiny_spec();
+  const ScenarioResult flat = run_scenario(spec);
+  spec.flatten = false;
+  const ScenarioResult barrier = run_scenario(spec);
+  // Direct replication of one cell, outside the engine.
+  const core::Replicated direct = core::run_replicated(
+      flat.points[1].config, core::Protocol::kCaemScheme2, spec.base_seed, spec.replications,
+      spec.options);
+  for (std::size_t p = 0; p < flat.points.size(); ++p) {
+    for (std::size_t pr = 0; pr < flat.points[p].protocols.size(); ++pr) {
+      const core::Replicated& a = flat.points[p].protocols[pr].replicated;
+      const core::Replicated& b = barrier.points[p].protocols[pr].replicated;
+      EXPECT_DOUBLE_EQ(a.total_consumed_j.mean(), b.total_consumed_j.mean());
+      EXPECT_DOUBLE_EQ(a.lifetime_s.mean(), b.lifetime_s.mean());
+      EXPECT_DOUBLE_EQ(a.delivery_rate.mean(), b.delivery_rate.mean());
+    }
+  }
+  const core::Replicated& engine_cell = flat.points[1].protocols[1].replicated;
+  EXPECT_DOUBLE_EQ(engine_cell.total_consumed_j.mean(), direct.total_consumed_j.mean());
+  EXPECT_EQ(engine_cell.runs[0].generated, direct.runs[0].generated);
+}
+
+TEST(Engine, SummaryTableShapeAndOutputs) {
+  const ScenarioResult result = run_scenario(tiny_spec());
+  const util::TableWriter table = summary_table(result);
+  EXPECT_EQ(table.row_count(), 4u);  // 2 points x 2 protocols
+  ScenarioSpec spec = tiny_spec();
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "caem_out_test";
+  fs::create_directories(dir);
+  spec.csv_path = (dir / "t.csv").string();
+  spec.json_path = (dir / "t.json").string();
+  std::ostringstream log;
+  write_outputs(result, spec, log);
+  EXPECT_TRUE(fs::exists(spec.csv_path));
+  EXPECT_TRUE(fs::exists(spec.json_path));
+  EXPECT_NE(log.str().find("t.csv"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace caem::scenario
