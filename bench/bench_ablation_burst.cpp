@@ -2,6 +2,10 @@
 // amortise the radio startup, max 8 for fairness).  Sweeping the policy
 // shows the startup-amortisation effect that drives Fig 11's decreasing
 // pure-LEACH curve, and what the max cap costs/buys.
+//
+// (min, max) pairs are not a cartesian product — min > max would be
+// invalid — so this uses a JOINT sweep axis: one axis whose key lists
+// both config keys and whose values move them in lockstep.
 #include <iostream>
 #include <vector>
 
@@ -13,27 +17,29 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation D — burst policy (min/max packets per access)",
                       "paper values 3/8; pure LEACH at load 10");
 
-  struct Policy {
-    std::size_t min, max;
-  };
-  const std::vector<Policy> policies = args.fast
-                                           ? std::vector<Policy>{{1, 1}, {3, 8}}
-                                           : std::vector<Policy>{{1, 1}, {1, 8}, {3, 8},
-                                                                 {8, 8}, {1, 16}, {3, 16}};
+  const std::vector<std::string> policies =
+      args.fast ? std::vector<std::string>{"1/1", "3/8"}
+                : std::vector<std::string>{"1/1", "1/8", "3/8", "8/8", "1/16", "3/16"};
 
-  core::RunOptions options;
-  options.max_sim_s = args.fast ? 60.0 : 120.0;
+  // Engine sweep (file-driven equivalent:
+  // examples/scenarios/ablation_burst.scn).
+  scenario::ScenarioSpec spec;
+  spec.name = "ablation-burst";
+  spec.base_config = args.config;
+  spec.base_config.traffic_rate_pps = 10.0;
+  spec.base_config.initial_energy_j = 1e6;
+  spec.base_seed = args.seed;
+  spec.replications = args.reps;
+  spec.options.max_sim_s = args.fast ? 60.0 : 120.0;
+  spec.protocols = {core::Protocol::kPureLeach};
+  spec.axes.push_back(scenario::Axis{"burst_min,burst_max", policies});
+  const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 
   util::TableWriter table({"min/max", "mJ/packet", "mean delay ms", "queue stddev",
                            "collisions", "startup mJ share %"});
-  for (const Policy& policy : policies) {
-    core::NetworkConfig config = args.config;
-    config.burst.min_packets = policy.min;
-    config.burst.max_packets = policy.max;
-    config.traffic_rate_pps = 10.0;
-    config.initial_energy_j = 1e6;
-    const auto summary = core::run_replicated(config, core::Protocol::kPureLeach, args.seed,
-                                              args.reps, options);
+  for (const scenario::PointResult& point : sweep.points) {
+    const core::Replicated& summary = point.protocols[0].replicated;
+    const core::NetworkConfig& config = point.config;
     // Startup share: startup events x startup energy / total consumed.
     double startup_share = 0.0, collisions = 0.0;
     for (const auto& run : summary.runs) {
@@ -44,7 +50,8 @@ int main(int argc, char** argv) {
     }
     const auto reps = static_cast<double>(args.reps);
     table.new_row()
-        .cell(std::to_string(policy.min) + "/" + std::to_string(policy.max))
+        .cell(std::to_string(config.burst.min_packets) + "/" +
+              std::to_string(config.burst.max_packets))
         .cell(summary.energy_per_packet_j.mean() * 1e3, 3)
         .cell(summary.mean_delay_s.mean() * 1e3, 1)
         .cell(summary.queue_stddev.mean(), 2)

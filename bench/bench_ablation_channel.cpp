@@ -18,25 +18,34 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation C — channel dynamics",
                       "Doppler sweep + fading family, all protocols");
 
-  const std::vector<double> dopplers =
-      args.fast ? std::vector<double>{3.0} : std::vector<double>{0.5, 1.0, 3.0, 10.0, 30.0};
+  const std::vector<std::string> dopplers =
+      args.fast ? std::vector<std::string>{"3"}
+                : std::vector<std::string>{"0.5", "1", "3", "10", "30"};
 
   core::RunOptions options;
   options.max_sim_s = args.fast ? 60.0 : 120.0;
 
+  // Two engine sweeps (file-driven equivalents:
+  // examples/scenarios/ablation_channel.scn / ablation_fading.scn).
+  scenario::ScenarioSpec doppler_spec;
+  doppler_spec.name = "ablation-channel-doppler";
+  doppler_spec.base_config = args.config;
+  doppler_spec.base_config.initial_energy_j = 1e6;
+  doppler_spec.base_seed = args.seed;
+  doppler_spec.replications = args.reps;
+  doppler_spec.options = options;
+  doppler_spec.axes.push_back(scenario::Axis{"channel.doppler_hz", dopplers});
+  const scenario::ScenarioResult doppler_sweep = scenario::run_scenario(doppler_spec);
+
   std::cout << "energy per delivered packet (mJ):\n";
   util::TableWriter table({"doppler Hz", "coherence ms", "pure-leach", "scheme1", "scheme2",
                            "s2 saving %"});
-  for (const double doppler : dopplers) {
-    core::NetworkConfig config = args.config;
-    config.channel.doppler_hz = doppler;
-    config.initial_energy_j = 1e6;
+  for (const scenario::PointResult& point : doppler_sweep.points) {
     double energy[3];
-    for (const core::Protocol protocol : core::kAllProtocols) {
-      const auto summary =
-          core::run_replicated(config, protocol, args.seed, args.reps, options);
-      energy[static_cast<int>(protocol)] = summary.energy_per_packet_j.mean() * 1e3;
+    for (std::size_t p = 0; p < point.protocols.size(); ++p) {
+      energy[p] = point.protocols[p].replicated.energy_per_packet_j.mean() * 1e3;
     }
+    const double doppler = point.config.channel.doppler_hz;
     table.new_row()
         .cell(doppler, 1)
         .cell(0.423 / doppler * 1e3, 0)
@@ -48,23 +57,24 @@ int main(int argc, char** argv) {
   table.render(std::cout);
 
   std::cout << "\nfading family (doppler 3 Hz, Scheme 2 vs pure LEACH):\n";
+  scenario::ScenarioSpec fading_spec;
+  fading_spec.name = "ablation-channel-fading";
+  fading_spec.base_config = args.config;
+  fading_spec.base_config.initial_energy_j = 1e6;
+  fading_spec.base_seed = args.seed;
+  fading_spec.replications = args.reps;
+  fading_spec.options = options;
+  fading_spec.protocols = {core::Protocol::kPureLeach, core::Protocol::kCaemScheme2};
+  fading_spec.axes.push_back(
+      scenario::Axis{"channel.fading_kind", {"jakes", "rician", "block"}});
+  const scenario::ScenarioResult fading_sweep = scenario::run_scenario(fading_spec);
+
   util::TableWriter family({"fading", "pure-leach mJ/pkt", "scheme2 mJ/pkt", "saving %"});
-  const std::pair<channel::FadingKind, const char*> kinds[] = {
-      {channel::FadingKind::kJakesRayleigh, "jakes-rayleigh"},
-      {channel::FadingKind::kRician, "rician K=3"},
-      {channel::FadingKind::kBlock, "block"},
-  };
-  for (const auto& [kind, name] : kinds) {
-    core::NetworkConfig config = args.config;
-    config.channel.fading_kind = kind;
-    config.initial_energy_j = 1e6;
-    const auto leach = core::run_replicated(config, core::Protocol::kPureLeach, args.seed,
-                                            args.reps, options);
-    const auto scheme2 = core::run_replicated(config, core::Protocol::kCaemScheme2, args.seed,
-                                              args.reps, options);
-    const double e0 = leach.energy_per_packet_j.mean() * 1e3;
-    const double e2 = scheme2.energy_per_packet_j.mean() * 1e3;
-    family.new_row().cell(std::string(name)).cell(e0, 3).cell(e2, 3).cell(
+  const char* kind_names[] = {"jakes-rayleigh", "rician K=3", "block"};
+  for (const scenario::PointResult& point : fading_sweep.points) {
+    const double e0 = point.protocols[0].replicated.energy_per_packet_j.mean() * 1e3;
+    const double e2 = point.protocols[1].replicated.energy_per_packet_j.mean() * 1e3;
+    family.new_row().cell(std::string(kind_names[point.point.index])).cell(e0, 3).cell(e2, 3).cell(
         100.0 * (1.0 - e2 / e0), 1);
   }
   family.render(std::cout);

@@ -14,32 +14,39 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation A — Q_threshold sweep (Scheme 1)",
                       "arming length of the Fig 6 adjustment, paper value 15");
 
-  const std::vector<std::size_t> thresholds =
-      args.fast ? std::vector<std::size_t>{5, 15} : std::vector<std::size_t>{5, 10, 15, 25, 40};
+  const std::vector<std::string> thresholds =
+      args.fast ? std::vector<std::string>{"5", "15"}
+                : std::vector<std::string>{"5", "10", "15", "25", "40"};
 
-  core::RunOptions options;
-  options.max_sim_s = args.fast ? 60.0 : 120.0;
+  // Engine sweep (file-driven equivalent:
+  // examples/scenarios/ablation_qthreshold.scn).
+  scenario::ScenarioSpec spec;
+  spec.name = "ablation-qthreshold";
+  spec.base_config = args.config;
+  spec.base_config.traffic_rate_pps = 10.0;
+  spec.base_config.initial_energy_j = 1e6;
+  spec.base_seed = args.seed;
+  spec.replications = args.reps;
+  spec.options.max_sim_s = args.fast ? 60.0 : 120.0;
+  spec.protocols = {core::Protocol::kCaemScheme1};
+  spec.axes.push_back(scenario::Axis{"arm_queue_length", thresholds});
+  const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 
   util::TableWriter table({"Q_threshold", "mJ/packet", "queue stddev", "mean delay ms",
                            "delivery %", "threshold lowers/s"});
-  for (const std::size_t q : thresholds) {
-    core::NetworkConfig config = args.config;
-    config.arm_queue_length = q;
-    config.traffic_rate_pps = 10.0;
-    config.initial_energy_j = 1e6;
-    const auto summary = core::run_replicated(config, core::Protocol::kCaemScheme1,
-                                              args.seed, args.reps, options);
+  for (const scenario::PointResult& point : sweep.points) {
+    const core::Replicated& summary = point.protocols[0].replicated;
     double lowers = 0.0;
     for (const auto& run : summary.runs) {
       lowers += static_cast<double>(run.threshold_lower_events);
     }
     table.new_row()
-        .cell(q)
+        .cell(point.config.arm_queue_length)
         .cell(summary.energy_per_packet_j.mean() * 1e3, 3)
         .cell(summary.queue_stddev.mean(), 2)
         .cell(summary.mean_delay_s.mean() * 1e3, 1)
         .cell(summary.delivery_rate.mean() * 100.0, 1)
-        .cell(lowers / static_cast<double>(args.reps) / options.max_sim_s, 2);
+        .cell(lowers / static_cast<double>(args.reps) / spec.options.max_sim_s, 2);
   }
   table.render(std::cout);
   std::cout << "\nexpected: energy per packet rises as Q_threshold falls (earlier\n"

@@ -13,21 +13,28 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation B — queue sampling interval m (Scheme 1)",
                       "Fig 6 predictor cadence, paper value 5");
 
-  const std::vector<std::uint32_t> intervals =
-      args.fast ? std::vector<std::uint32_t>{1, 5} : std::vector<std::uint32_t>{1, 2, 5, 10, 20};
+  const std::vector<std::string> intervals =
+      args.fast ? std::vector<std::string>{"1", "5"}
+                : std::vector<std::string>{"1", "2", "5", "10", "20"};
 
-  core::RunOptions options;
-  options.max_sim_s = args.fast ? 60.0 : 120.0;
+  // Engine sweep (file-driven equivalent:
+  // examples/scenarios/ablation_sampling.scn).
+  scenario::ScenarioSpec spec;
+  spec.name = "ablation-sampling";
+  spec.base_config = args.config;
+  spec.base_config.traffic_rate_pps = 10.0;
+  spec.base_config.initial_energy_j = 1e6;
+  spec.base_seed = args.seed;
+  spec.replications = args.reps;
+  spec.options.max_sim_s = args.fast ? 60.0 : 120.0;
+  spec.protocols = {core::Protocol::kCaemScheme1};
+  spec.axes.push_back(scenario::Axis{"sample_every_m", intervals});
+  const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 
   util::TableWriter table({"m", "mJ/packet", "queue stddev", "mean delay ms", "delivery %",
                            "lower events", "raise events"});
-  for (const std::uint32_t m : intervals) {
-    core::NetworkConfig config = args.config;
-    config.sample_every_m = m;
-    config.traffic_rate_pps = 10.0;
-    config.initial_energy_j = 1e6;
-    const auto summary = core::run_replicated(config, core::Protocol::kCaemScheme1,
-                                              args.seed, args.reps, options);
+  for (const scenario::PointResult& point : sweep.points) {
+    const core::Replicated& summary = point.protocols[0].replicated;
     double lowers = 0.0, raises = 0.0;
     for (const auto& run : summary.runs) {
       lowers += static_cast<double>(run.threshold_lower_events);
@@ -35,7 +42,7 @@ int main(int argc, char** argv) {
     }
     const auto reps = static_cast<double>(args.reps);
     table.new_row()
-        .cell(static_cast<std::size_t>(m))
+        .cell(static_cast<std::size_t>(point.config.sample_every_m))
         .cell(summary.energy_per_packet_j.mean() * 1e3, 3)
         .cell(summary.queue_stddev.mean(), 2)
         .cell(summary.mean_delay_s.mean() * 1e3, 1)

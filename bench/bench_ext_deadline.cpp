@@ -19,16 +19,28 @@ int main(int argc, char** argv) {
   core::RunOptions options;
   options.max_sim_s = args.fast ? 60.0 : 120.0;
 
+  // Three engine runs replace the per-variant run_replicated barriers:
+  // the two endpoint protocols as single-point scenarios and the
+  // deadline variant as a csi_gate_deadline_s sweep — the ROADMAP's
+  // "protocol extensions as scenario axes" item (file-driven equivalent:
+  // examples/scenarios/ext_deadline.scn).
+  const auto make_spec = [&](const char* name, core::Protocol protocol) {
+    scenario::ScenarioSpec spec;
+    spec.name = name;
+    spec.base_config = args.config;
+    spec.base_config.traffic_rate_pps = 8.0;
+    spec.base_config.initial_energy_j = 1e6;
+    spec.base_config.csi_gate_deadline_s = 0.0;
+    spec.base_seed = args.seed;
+    spec.replications = args.reps;
+    spec.options = options;
+    spec.protocols = {protocol};
+    return spec;
+  };
+
   util::TableWriter table({"variant", "mJ/packet", "mean delay ms", "p95 delay ms",
                            "queue stddev", "delivery %", "overrides"});
-
-  const auto run_point = [&](core::Protocol protocol, double deadline_s,
-                             const std::string& label) {
-    core::NetworkConfig config = args.config;
-    config.traffic_rate_pps = 8.0;
-    config.initial_energy_j = 1e6;
-    config.csi_gate_deadline_s = deadline_s;
-    const auto summary = core::run_replicated(config, protocol, args.seed, args.reps, options);
+  const auto add_row = [&](const std::string& label, const core::Replicated& summary) {
     double overrides = 0.0;
     for (const auto& run : summary.runs) {
       overrides += static_cast<double>(run.mac.deadline_overrides);
@@ -46,14 +58,25 @@ int main(int argc, char** argv) {
         .cell(overrides / reps, 0);
   };
 
-  run_point(core::Protocol::kPureLeach, 0.0, "pure-leach");
-  const std::vector<double> deadlines =
-      args.fast ? std::vector<double>{0.5} : std::vector<double>{0.1, 0.25, 0.5, 1.0, 2.0};
-  for (const double deadline : deadlines) {
-    run_point(core::Protocol::kCaemDeadline, deadline,
-              "deadline " + util::format_fixed(deadline, 2) + " s");
+  const scenario::ScenarioResult leach =
+      scenario::run_scenario(make_spec("ext-deadline-leach", core::Protocol::kPureLeach));
+  add_row("pure-leach", leach.points[0].protocols[0].replicated);
+
+  scenario::ScenarioSpec deadline_spec =
+      make_spec("ext-deadline-sweep", core::Protocol::kCaemDeadline);
+  const std::vector<std::string> deadlines =
+      args.fast ? std::vector<std::string>{"0.5"}
+                : std::vector<std::string>{"0.1", "0.25", "0.5", "1", "2"};
+  deadline_spec.axes.push_back(scenario::Axis{"csi_gate_deadline_s", deadlines});
+  const scenario::ScenarioResult deadline_sweep = scenario::run_scenario(deadline_spec);
+  for (const scenario::PointResult& point : deadline_sweep.points) {
+    add_row("deadline " + util::format_fixed(point.config.csi_gate_deadline_s, 2) + " s",
+            point.protocols[0].replicated);
   }
-  run_point(core::Protocol::kCaemScheme2, 0.0, "caem-scheme2");
+
+  const scenario::ScenarioResult scheme2 =
+      scenario::run_scenario(make_spec("ext-deadline-scheme2", core::Protocol::kCaemScheme2));
+  add_row("caem-scheme2", scheme2.points[0].protocols[0].replicated);
 
   table.render(std::cout);
   std::cout << "\nexpected: energy per packet interpolates monotonically between pure\n"

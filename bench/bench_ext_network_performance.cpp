@@ -13,50 +13,39 @@ int main(int argc, char** argv) {
   bench::print_header("Extension — network performance vs load",
                       "delay / throughput / delivery rate (long-version metrics)");
 
-  const std::vector<double> loads =
-      args.fast ? std::vector<double>{5.0, 20.0} : std::vector<double>{5, 10, 15, 20, 25, 30};
+  const std::vector<std::string> loads =
+      args.fast ? std::vector<std::string>{"5", "20"}
+                : std::vector<std::string>{"5", "10", "15", "20", "25", "30"};
 
-  core::RunOptions options;
-  options.max_sim_s = args.fast ? 60.0 : 120.0;
-
-  struct Job {
-    double load;
-    core::Protocol protocol;
-    std::uint64_t seed;
-  };
-  std::vector<Job> jobs;
-  for (const double load : loads) {
-    for (const core::Protocol protocol : core::kAllProtocols) {
-      for (std::size_t rep = 0; rep < args.reps; ++rep) {
-        jobs.push_back({load, protocol, args.seed + rep});
-      }
-    }
-  }
-  const auto results = core::parallel_runs(jobs.size(), [&](std::size_t i) {
-    core::NetworkConfig config = args.config;
-    config.traffic_rate_pps = jobs[i].load;
-    config.initial_energy_j = 1e6;  // steady-state performance, no deaths
-    return core::SimulationRunner::run(config, jobs[i].protocol, jobs[i].seed, options);
-  });
+  // Engine sweep (file-driven equivalent:
+  // examples/scenarios/ext_network_performance.scn).
+  scenario::ScenarioSpec spec;
+  spec.name = "ext-network-performance";
+  spec.base_config = args.config;
+  spec.base_config.initial_energy_j = 1e6;  // steady-state performance, no deaths
+  spec.base_seed = args.seed;
+  spec.replications = args.reps;
+  spec.options.max_sim_s = args.fast ? 60.0 : 120.0;
+  spec.axes.push_back(scenario::Axis{"traffic_rate_pps", loads});
+  const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 
   const char* names[] = {"pure-leach", "caem-scheme1", "caem-scheme2"};
-  for (int p = 0; p < 3; ++p) {
+  for (std::size_t p = 0; p < 3; ++p) {
     std::cout << "\n" << names[p] << ":\n";
     util::TableWriter table({"load pkt/s", "mean delay ms", "p95 delay ms",
                              "throughput kbps", "delivery %", "collisions"});
-    for (const double load : loads) {
+    for (const scenario::PointResult& point : sweep.points) {
       double delay = 0, p95 = 0, throughput = 0, delivery = 0, collisions = 0;
-      for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (jobs[i].load != load || static_cast<int>(jobs[i].protocol) != p) continue;
-        delay += results[i].mean_delay_s;
-        p95 += results[i].p95_delay_s;
-        throughput += results[i].throughput_bps;
-        delivery += results[i].delivery_rate;
-        collisions += static_cast<double>(results[i].collisions);
+      for (const auto& run : point.protocols[p].replicated.runs) {
+        delay += run.mean_delay_s;
+        p95 += run.p95_delay_s;
+        throughput += run.throughput_bps;
+        delivery += run.delivery_rate;
+        collisions += static_cast<double>(run.collisions);
       }
       const auto reps = static_cast<double>(args.reps);
       table.new_row()
-          .cell(load, 0)
+          .cell(point.config.traffic_rate_pps, 0)
           .cell(delay / reps * 1e3, 1)
           .cell(p95 / reps * 1e3, 1)
           .cell(throughput / reps / 1e3, 1)

@@ -18,45 +18,37 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 11 — energy per delivered packet vs load",
                       "pure LEACH vs CAEM Scheme 1 (Scheme 2 as extra)");
 
-  const std::vector<double> loads =
-      args.fast ? std::vector<double>{5.0, 20.0} : std::vector<double>{5, 10, 15, 20, 25, 30};
+  const std::vector<std::string> loads =
+      args.fast ? std::vector<std::string>{"5", "20"}
+                : std::vector<std::string>{"5", "10", "15", "20", "25", "30"};
 
-  core::RunOptions options;
-  options.max_sim_s = args.fast ? 60.0 : 150.0;
-
-  struct Job {
-    double load;
-    core::Protocol protocol;
-    std::uint64_t seed;
-  };
-  std::vector<Job> jobs;
-  for (const double load : loads) {
-    for (const core::Protocol protocol : core::kAllProtocols) {
-      for (std::size_t rep = 0; rep < args.reps; ++rep) {
-        jobs.push_back({load, protocol, args.seed + rep});
-      }
-    }
-  }
-  const auto results = core::parallel_runs(jobs.size(), [&](std::size_t i) {
-    core::NetworkConfig config = args.config;
-    config.traffic_rate_pps = jobs[i].load;
-    // Long-lived batteries: Fig 11 measures steady-state energy/packet,
-    // not lifetime effects.
-    config.initial_energy_j = 1e6;
-    return core::SimulationRunner::run(config, jobs[i].protocol, jobs[i].seed, options);
-  });
+  // Declarative sweep on the scenario engine (file-driven equivalent:
+  // examples/scenarios/fig11_energy_per_packet.scn) — same jobs and
+  // seeds as the old hand-rolled loop, so the numbers are unchanged.
+  scenario::ScenarioSpec spec;
+  spec.name = "fig11-energy-per-packet";
+  spec.base_config = args.config;
+  // Long-lived batteries: Fig 11 measures steady-state energy/packet,
+  // not lifetime effects.
+  spec.base_config.initial_energy_j = 1e6;
+  spec.base_seed = args.seed;
+  spec.replications = args.reps;
+  spec.options.max_sim_s = args.fast ? 60.0 : 150.0;
+  spec.axes.push_back(scenario::Axis{"traffic_rate_pps", loads});
+  const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 
   util::TableWriter table({"load pkt/s", "pure-leach mJ/pkt", "scheme1 mJ/pkt",
                            "scheme2 mJ/pkt", "s1 saving %"});
-  for (const double load : loads) {
+  for (const scenario::PointResult& point : sweep.points) {
     double energy[3] = {0, 0, 0};
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (jobs[i].load != load) continue;
-      energy[static_cast<int>(jobs[i].protocol)] += results[i].energy_per_delivered_packet_j;
+    for (std::size_t p = 0; p < point.protocols.size(); ++p) {
+      for (const auto& run : point.protocols[p].replicated.runs) {
+        energy[p] += run.energy_per_delivered_packet_j;
+      }
+      energy[p] = energy[p] / static_cast<double>(args.reps) * 1e3;
     }
-    for (double& value : energy) value = value / static_cast<double>(args.reps) * 1e3;
     table.new_row()
-        .cell(load, 0)
+        .cell(point.config.traffic_rate_pps, 0)
         .cell(energy[0], 3)
         .cell(energy[1], 3)
         .cell(energy[2], 3)

@@ -16,42 +16,31 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 12 — std-dev of queue length vs load",
                       "short-term fairness, large buffers");
 
-  const std::vector<double> loads =
-      args.fast ? std::vector<double>{5.0, 15.0} : std::vector<double>{5, 10, 15, 20, 25};
+  const std::vector<std::string> loads =
+      args.fast ? std::vector<std::string>{"5", "15"}
+                : std::vector<std::string>{"5", "10", "15", "20", "25"};
 
-  core::RunOptions options;
-  options.max_sim_s = args.fast ? 60.0 : 150.0;
-
-  struct Job {
-    double load;
-    core::Protocol protocol;
-    std::uint64_t seed;
-  };
-  std::vector<Job> jobs;
-  for (const double load : loads) {
-    for (const core::Protocol protocol : core::kAllProtocols) {
-      for (std::size_t rep = 0; rep < args.reps; ++rep) {
-        jobs.push_back({load, protocol, args.seed + rep});
-      }
-    }
-  }
-  const auto results = core::parallel_runs(jobs.size(), [&](std::size_t i) {
-    core::NetworkConfig config = args.config;
-    config.traffic_rate_pps = jobs[i].load;
-    config.buffer_capacity = 100000;  // "substantially large" (paper)
-    config.initial_energy_j = 1e6;    // isolate queueing from deaths
-    return core::SimulationRunner::run(config, jobs[i].protocol, jobs[i].seed, options);
-  });
+  // Engine sweep (file-driven equivalent:
+  // examples/scenarios/fig12_queue_fairness.scn).
+  scenario::ScenarioSpec spec;
+  spec.name = "fig12-queue-fairness";
+  spec.base_config = args.config;
+  spec.base_config.buffer_capacity = 100000;  // "substantially large" (paper)
+  spec.base_config.initial_energy_j = 1e6;    // isolate queueing from deaths
+  spec.base_seed = args.seed;
+  spec.replications = args.reps;
+  spec.options.max_sim_s = args.fast ? 60.0 : 150.0;
+  spec.axes.push_back(scenario::Axis{"traffic_rate_pps", loads});
+  const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 
   util::TableWriter table({"load pkt/s", "pure-leach", "caem-scheme1", "caem-scheme2"});
-  for (const double load : loads) {
-    double stddev[3] = {0, 0, 0};
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (jobs[i].load != load) continue;
-      stddev[static_cast<int>(jobs[i].protocol)] += results[i].mean_queue_stddev;
+  for (const scenario::PointResult& point : sweep.points) {
+    table.new_row().cell(point.config.traffic_rate_pps, 0);
+    for (const scenario::ProtocolResult& entry : point.protocols) {
+      double stddev = 0.0;
+      for (const auto& run : entry.replicated.runs) stddev += run.mean_queue_stddev;
+      table.cell(stddev / static_cast<double>(args.reps), 2);
     }
-    table.new_row().cell(load, 0);
-    for (const double value : stddev) table.cell(value / static_cast<double>(args.reps), 2);
   }
   table.render(std::cout);
   std::cout << "\npaper shape check: scheme1 column lowest (fairest), scheme2 highest;\n"

@@ -5,6 +5,7 @@
 // Paper shape: pure LEACH drains fastest; CAEM Scheme 2 (fixed highest
 // threshold) slowest; Scheme 1 in between.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -19,16 +20,22 @@ int main(int argc, char** argv) {
 
   const auto points = bench::all_protocols(args.config, args.seed, args.reps, options);
 
+  // Cross-replication mean of each protocol's energy trace (the same
+  // fold the engine's `output.trace` artifacts use).
+  const std::vector<double> grid = util::uniform_grid(0.0, options.max_sim_s, 13);
+  std::vector<util::TimeSeries> folded;
+  folded.reserve(points.size());
+  for (const auto& replicated : points) {
+    std::vector<const util::TimeSeries*> traces;
+    traces.reserve(replicated.runs.size());
+    for (const auto& run : replicated.runs) traces.push_back(&run.avg_remaining_energy);
+    folded.push_back(util::fold_mean(traces, grid, util::FoldMode::kLinear));
+  }
+
   util::TableWriter table({"t (s)", "pure-leach (J)", "caem-scheme1 (J)", "caem-scheme2 (J)"});
-  const double step = options.max_sim_s / 12.0;
-  for (double t = 0.0; t <= options.max_sim_s + 1e-9; t += step) {
-    table.new_row().cell(t, 0);
-    for (const auto& replicated : points) {
-      // Average the energy trace across replications at this time.
-      double sum = 0.0;
-      for (const auto& run : replicated.runs) sum += run.avg_remaining_energy.value_at(t);
-      table.cell(sum / static_cast<double>(replicated.runs.size()), 3);
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.new_row().cell(grid[i], 0);
+    for (const util::TimeSeries& series : folded) table.cell(series.points()[i].value, 3);
   }
   table.render(std::cout);
 
@@ -36,10 +43,12 @@ int main(int argc, char** argv) {
   util::TableWriter totals({"protocol", "consumed J", "delivered", "delivery %"});
   const char* names[] = {"pure-leach", "caem-scheme1", "caem-scheme2"};
   for (std::size_t p = 0; p < points.size(); ++p) {
+    double delivered = 0.0;
+    for (const auto& run : points[p].runs) delivered += static_cast<double>(run.delivered_air);
     totals.new_row()
         .cell(std::string(names[p]))
         .cell(points[p].total_consumed_j.mean(), 2)
-        .cell(points[p].runs[0].delivered_air)
+        .cell(delivered / static_cast<double>(points[p].runs.size()), 1)
         .cell(100.0 * points[p].delivery_rate.mean(), 1);
   }
   totals.render(std::cout);

@@ -5,6 +5,7 @@
 // equalises energy use); lifetime gains ~+40% (Scheme 1) and ~+130%
 // (Scheme 2) over pure LEACH at the 20%-dead definition.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -28,14 +29,19 @@ int main(int argc, char** argv) {
 
   util::TableWriter table({"t (s)", "pure-leach alive", "caem-scheme1 alive",
                            "caem-scheme2 alive"});
-  const double step = horizon / 14.0;
-  for (double t = 0.0; t <= horizon + 1e-9; t += step) {
-    table.new_row().cell(t, 0);
-    for (const auto& replicated : points) {
-      double sum = 0.0;
-      for (const auto& run : replicated.runs) sum += run.nodes_alive.step_value_at(t);
-      table.cell(sum / static_cast<double>(replicated.runs.size()), 1);
-    }
+  const std::vector<double> grid = util::uniform_grid(0.0, horizon, 15);
+  std::vector<util::TimeSeries> folded;
+  folded.reserve(points.size());
+  for (const auto& replicated : points) {
+    std::vector<const util::TimeSeries*> traces;
+    traces.reserve(replicated.runs.size());
+    for (const auto& run : replicated.runs) traces.push_back(&run.nodes_alive);
+    // Step (sample-and-hold) fold: alive counts are events, not ramps.
+    folded.push_back(util::fold_mean(traces, grid, util::FoldMode::kStep));
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.new_row().cell(grid[i], 0);
+    for (const util::TimeSeries& series : folded) table.cell(series.points()[i].value, 1);
   }
   table.render(std::cout);
 

@@ -1,15 +1,30 @@
 // bench_table2_params — reproduces Table II: the physical simulation
 // parameters, as configured in core::NetworkConfig, including the unit
 // substitutions documented in DESIGN.md.
+//
+// There is nothing to simulate here, so "running on the scenario
+// engine" means the config comes from the same place every sweep's
+// does: a ScenarioSpec materialising its baseline grid point.  CLI
+// overrides therefore share the full scenario namespace (any
+// NetworkConfig key; unknown keys are fatal).
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "phy/abicm.hpp"
 
 int main(int argc, char** argv) {
   using namespace caem;
-  const bench::BenchArgs args = bench::parse_args(argc, argv);
-  const core::NetworkConfig& config = args.config;
+  scenario::ScenarioSpec spec;
+  spec.name = "table2-params";
+  try {
+    const std::vector<std::string> tokens(argv + 1, argv + argc);
+    if (!tokens.empty()) spec.apply_cli_overrides(util::Config::from_args(tokens));
+  } catch (const std::exception& error) {
+    std::cerr << "bad arguments: " << error.what() << "\n";
+    return 1;
+  }
+  const core::NetworkConfig config = spec.config_at(scenario::expand_grid(spec.axes).at(0));
   bench::print_header("Table II — physical simulation parameters",
                       "parameter values used by every figure bench");
 

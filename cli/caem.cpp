@@ -1,8 +1,14 @@
 // caem — unified scenario runner for the CAEM reproduction harness.
 //
-//   caem run <scenario.scn> [key=value ...]     run a sweep
-//   caem expand <scenario.scn> [key=value ...]  print the grid, run nothing
-//   caem help                                   usage
+//   caem run <scenario.scn> [flags] [key=value ...]     run a sweep
+//   caem expand <scenario.scn> [key=value ...]          print the grid, run nothing
+//   caem help                                           usage
+//
+// Flags:
+//   --cache-dir=<dir> | --cache-dir <dir>   digest-keyed result cache:
+//       cells already computed for the same (config digest, protocol,
+//       seed, horizon) load instead of executing
+//   --no-cache                              ignore the cache entirely
 //
 // Overrides use the scenario-file namespace (scenario.*, sweep.*,
 // output.*, or any NetworkConfig key).  Unknown keys are fatal: a typo
@@ -20,24 +26,59 @@ namespace {
 
 int usage(std::ostream& out, int exit_code) {
   out << "usage:\n"
-         "  caem run <scenario.scn> [key=value ...]     run the sweep\n"
-         "  caem expand <scenario.scn> [key=value ...]  show grid points without running\n"
+         "  caem run <scenario.scn> [flags] [key=value ...]  run the sweep\n"
+         "  caem expand <scenario.scn> [key=value ...]       show grid points without running\n"
          "  caem help\n"
+         "\n"
+         "flags (run only):\n"
+         "  --cache-dir=<dir>   reuse cached results keyed by (config digest, protocol,\n"
+         "                      seed); only cells absent from the cache execute\n"
+         "  --no-cache          neither read nor write the cache\n"
          "\n"
          "overrides share the scenario-file namespace, e.g.\n"
          "  caem run examples/scenarios/fig10_lifetime_vs_load.scn scenario.reps=4 \\\n"
-         "      sweep.traffic_rate_pps=list:5,15 output.csv=out.csv node_count=50\n";
+         "      sweep.traffic_rate_pps=list:5,15 output.csv=out.csv output.trace=traces \\\n"
+         "      node_count=50\n";
   return exit_code;
 }
 
-caem::scenario::ScenarioSpec load_spec(int argc, char** argv) {
+caem::scenario::ScenarioSpec load_spec(const std::vector<std::string>& tokens,
+                                       const std::string& path) {
   using caem::scenario::ScenarioSpec;
-  ScenarioSpec spec = ScenarioSpec::from_file(argv[2]);
-  const std::vector<std::string> tokens(argv + 3, argv + argc);
+  ScenarioSpec spec = ScenarioSpec::from_file(path);
   if (!tokens.empty()) {
     spec.apply_cli_overrides(caem::util::Config::from_args(tokens));
   }
   return spec;
+}
+
+/// Split argv (after the scenario path) into flags we consume here and
+/// key=value override tokens the spec consumes.  Throws on an unknown
+/// `--` flag — same contract as unknown override keys.
+struct CliArgs {
+  std::string cache_dir;
+  bool no_cache = false;
+  std::vector<std::string> overrides;
+};
+
+CliArgs parse_cli(int argc, char** argv, int first) {
+  CliArgs args;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--no-cache") {
+      args.no_cache = true;
+    } else if (token == "--cache-dir") {
+      if (i + 1 >= argc) throw std::invalid_argument("--cache-dir needs a directory argument");
+      args.cache_dir = argv[++i];
+    } else if (token.rfind("--cache-dir=", 0) == 0) {
+      args.cache_dir = token.substr(12);
+    } else if (token.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown flag '" + token + "'");
+    } else {
+      args.overrides.push_back(token);
+    }
+  }
+  return args;
 }
 
 void print_banner(const caem::scenario::ScenarioSpec& spec, std::ostream& out) {
@@ -46,23 +87,42 @@ void print_banner(const caem::scenario::ScenarioSpec& spec, std::ostream& out) {
       << spec.protocols.size() << " protocol(s) x " << spec.replications
       << " rep(s) = " << spec.total_jobs() << " job(s)"
       << (spec.flatten ? " on one flattened queue" : " with per-point barriers") << "\n";
+  if (!spec.cache_dir.empty()) {
+    out << "cache: " << spec.cache_dir << (spec.use_cache ? "" : " (disabled by --no-cache)")
+        << "\n";
+  }
 }
 
 int run_command(int argc, char** argv) {
-  const caem::scenario::ScenarioSpec spec = load_spec(argc, argv);
+  const CliArgs cli = parse_cli(argc, argv, 3);
+  caem::scenario::ScenarioSpec spec = load_spec(cli.overrides, argv[2]);
+  if (!cli.cache_dir.empty()) spec.cache_dir = cli.cache_dir;
+  if (cli.no_cache) spec.use_cache = false;
   print_banner(spec, std::cout);
   std::cout << "\n";
   const caem::scenario::ScenarioResult result = caem::scenario::run_scenario(spec);
   caem::scenario::summary_table(result).render(std::cout);
   std::cout << "\n";
   caem::scenario::write_outputs(result, spec, std::cout);
+  if (result.cache_enabled) {
+    std::cout << "cache: " << result.cache_hits << " hit(s), " << result.executed_jobs
+              << " executed (" << result.cache_misses << " stored) in " << spec.cache_dir
+              << "\n";
+  }
   std::cout << "wall clock: " << caem::util::format_fixed(result.wall_s, 2) << " s for "
             << result.total_jobs << " job(s)\n";
   return 0;
 }
 
 int expand_command(int argc, char** argv) {
-  const caem::scenario::ScenarioSpec spec = load_spec(argc, argv);
+  const CliArgs cli = parse_cli(argc, argv, 3);
+  if (!cli.cache_dir.empty() || cli.no_cache) {
+    // Expand runs nothing, so accepting cache flags would silently do
+    // nothing — same contract as unknown keys: fail loudly.
+    throw std::invalid_argument(
+        "--cache-dir/--no-cache only apply to 'caem run' (expand executes no jobs)");
+  }
+  const caem::scenario::ScenarioSpec spec = load_spec(cli.overrides, argv[2]);
   print_banner(spec, std::cout);
   const auto grid = caem::scenario::expand_grid(spec.axes);
   for (const auto& point : grid) {

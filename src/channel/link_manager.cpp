@@ -13,6 +13,23 @@ namespace {
 }
 }  // namespace
 
+const char* to_string(FadingKind kind) noexcept {
+  switch (kind) {
+    case FadingKind::kJakesRayleigh: return "jakes";
+    case FadingKind::kRician: return "rician";
+    case FadingKind::kBlock: return "block";
+  }
+  return "?";
+}
+
+FadingKind fading_kind_from_string(const std::string& name) {
+  if (name == "jakes" || name == "jakes-rayleigh") return FadingKind::kJakesRayleigh;
+  if (name == "rician") return FadingKind::kRician;
+  if (name == "block") return FadingKind::kBlock;
+  throw std::invalid_argument("unknown fading kind '" + name +
+                              "' (expected jakes, rician or block)");
+}
+
 LinkManager::LinkManager(ChannelConfig config, sim::RngRegistry* rng)
     : config_(config), rng_(rng) {
   if (rng_ == nullptr) throw std::invalid_argument("LinkManager: null RNG registry");

@@ -23,6 +23,12 @@ using NodeId = std::uint32_t;
 /// Fading model families selectable per run (ablation C).
 enum class FadingKind { kJakesRayleigh, kRician, kBlock };
 
+[[nodiscard]] const char* to_string(FadingKind kind) noexcept;
+
+/// Parse "jakes" (alias "jakes-rayleigh"), "rician" or "block"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] FadingKind fading_kind_from_string(const std::string& name);
+
 /// Channel-wide configuration shared by every link in a run.
 struct ChannelConfig {
   double path_loss_exponent = 3.0;   ///< log-distance exponent (obstructed field)

@@ -1,6 +1,10 @@
 #include "core/config.hpp"
 
+#include <sstream>
 #include <stdexcept>
+
+#include "util/digest.hpp"
+#include "util/table_writer.hpp"
 
 namespace caem::core {
 
@@ -61,6 +65,10 @@ void NetworkConfig::validate() const {
   if (csi_gate_deadline_s < 0.0) {
     throw std::invalid_argument("config: negative CSI-gate deadline");
   }
+  if (channel.jakes_oscillators == 0 || channel.jakes_oscillators > 4096) {
+    // Also catches negative overrides, which wrap far past 4096.
+    throw std::invalid_argument("config: channel.jakes_oscillators must be in [1, 4096]");
+  }
   if (mobility_kind != "static" && mobility_kind != "waypoint") {
     throw std::invalid_argument("config: mobility_kind must be 'static' or 'waypoint'");
   }
@@ -107,6 +115,10 @@ void NetworkConfig::apply_overrides(const util::Config& overrides) {
   channel.path_loss_ref_db =
       overrides.get_double("channel.path_loss_ref_db", channel.path_loss_ref_db);
   channel.rician_k = overrides.get_double("channel.rician_k", channel.rician_k);
+  channel.fading_kind = channel::fading_kind_from_string(overrides.get_string(
+      "channel.fading_kind", channel::to_string(channel.fading_kind)));
+  channel.jakes_oscillators = static_cast<std::size_t>(overrides.get_int(
+      "channel.jakes_oscillators", static_cast<long long>(channel.jakes_oscillators)));
   channel.snr_cache_enabled =
       overrides.get_bool("channel.snr_cache_enabled", channel.snr_cache_enabled);
   tx_power_dbm = overrides.get_double("tx_power_dbm", tx_power_dbm);
@@ -142,5 +154,88 @@ void NetworkConfig::apply_overrides(const util::Config& overrides) {
   csi_gate_deadline_s = overrides.get_double("csi_gate_deadline_s", csi_gate_deadline_s);
   validate();
 }
+
+std::string NetworkConfig::canonical_text() const {
+  std::ostringstream out;
+  const auto put = [&out](const char* key, const std::string& value) {
+    out << key << '=' << value << '\n';
+  };
+  const auto put_d = [&put](const char* key, double value) {
+    put(key, util::format_full(value));
+  };
+  const auto put_u = [&put](const char* key, std::uint64_t value) {
+    put(key, std::to_string(value));
+  };
+  // Version header: bump when a field is added/removed/renamed so stale
+  // cache entries from older layouts can never alias a new config.
+  out << "caem-config-v1\n";
+  // Simulation-semantics version: bump whenever SIMULATOR BEHAVIOR
+  // changes for identical inputs (kernel reordering, RNG stream
+  // changes, model fixes) even though no config or RunResult field
+  // moved — it feeds the digest, so existing result-cache directories
+  // invalidate structurally instead of serving pre-change numbers.
+  out << "sim-semantics=1\n";
+  put_u("node_count", node_count);
+  put_d("field_size_m", field_size_m);
+  put_d("ch_fraction", ch_fraction);
+  put_d("round_duration_s", round_duration_s);
+  put_d("traffic_rate_pps", traffic_rate_pps);
+  put("traffic_kind", traffic_kind);
+  put_d("packet_bits", packet_bits);
+  put_u("buffer_capacity", buffer_capacity);
+  put_u("sample_every_m", sample_every_m);
+  put_u("arm_queue_length", arm_queue_length);
+  put_d("backoff.slot_s", backoff.slot_s);
+  put_u("backoff.cw", backoff.cw);
+  put_u("backoff.max_retries", backoff.max_retries);
+  put_u("burst.min_packets", burst.min_packets);
+  put_u("burst.max_packets", burst.max_packets);
+  put_d("burst.hold_timeout_s", burst.hold_timeout_s);
+  put_d("check_interval_s", check_interval_s);
+  put_d("detect_delay_s", detect_delay_s);
+  put_d("sensing_delay_s", sensing_delay_s);
+  put_d("tone_classify_delay_s", tone_classify_delay_s);
+  put_d("csi_noise_db", csi_noise_db);
+  put_d("channel.path_loss_exponent", channel.path_loss_exponent);
+  put_d("channel.path_loss_ref_db", channel.path_loss_ref_db);
+  put_d("channel.shadowing_sigma_db", channel.shadowing_sigma_db);
+  put_d("channel.shadowing_tau_s", channel.shadowing_tau_s);
+  put_d("channel.doppler_hz", channel.doppler_hz);
+  put("channel.fading_kind", channel::to_string(channel.fading_kind));
+  put_d("channel.rician_k", channel.rician_k);
+  put_u("channel.jakes_oscillators", channel.jakes_oscillators);
+  put_u("channel.snr_cache_enabled", channel.snr_cache_enabled ? 1 : 0);
+  put("mobility_kind", mobility_kind);
+  put_d("mobility_max_speed_mps", mobility_max_speed_mps);
+  put_d("mobility_pause_s", mobility_pause_s);
+  put_d("tx_power_dbm", tx_power_dbm);
+  put_d("rx_noise_figure_db", rx_noise_figure_db);
+  put_d("noise_bandwidth_hz", noise_bandwidth_hz);
+  put_d("header_bits", header_bits);
+  put_d("preamble_s", preamble_s);
+  put_d("initial_energy_j", initial_energy_j);
+  put_d("data_tx_w", data_tx_w);
+  put_d("data_rx_w", data_rx_w);
+  put_d("data_idle_w", data_idle_w);
+  put_d("data_sleep_w", data_sleep_w);
+  put_d("data_startup_s", data_startup_s);
+  put_d("tone_tx_w", tone_tx_w);
+  put_d("tone_rx_w", tone_rx_w);
+  put_d("tone_monitor_duty", tone_monitor_duty);
+  put_d("tone_sleep_w", tone_sleep_w);
+  put_d("tone_startup_s", tone_startup_s);
+  put_u("ch_forward_enabled", ch_forward_enabled ? 1 : 0);
+  put_d("bs_distance_m", bs_distance_m);
+  put_d("fwd_e_elec_j_per_bit", fwd_e_elec_j_per_bit);
+  put_d("fwd_eps_amp_j_per_bit_m2", fwd_eps_amp_j_per_bit_m2);
+  put_d("aggregation_ratio", aggregation_ratio);
+  put_d("csi_gate_deadline_s", csi_gate_deadline_s);
+  put_d("dead_fraction", dead_fraction);
+  put_d("energy_snapshot_interval_s", energy_snapshot_interval_s);
+  put_d("queue_snapshot_interval_s", queue_snapshot_interval_s);
+  return out.str();
+}
+
+std::string NetworkConfig::digest() const { return util::content_digest(canonical_text()); }
 
 }  // namespace caem::core

@@ -112,6 +112,16 @@ struct NetworkConfig {
   /// Apply `key=value` overrides (keys mirror the field names, e.g.
   /// "node_count", "traffic_rate_pps", "channel.doppler_hz").
   void apply_overrides(const util::Config& overrides);
+
+  /// Canonical `key=value` text rendering of EVERY knob (doubles at full
+  /// round-trip precision, one line per field, fixed order, versioned
+  /// header line).  Two configs produce the same text iff they run the
+  /// same simulation, which makes the text the cache-key substrate.
+  [[nodiscard]] std::string canonical_text() const;
+
+  /// 16-hex-char FNV-1a digest of `canonical_text()` — the content
+  /// identity used by the scenario result cache and artifact provenance.
+  [[nodiscard]] std::string digest() const;
 };
 
 }  // namespace caem::core

@@ -1,0 +1,397 @@
+#include "core/run_result_io.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/table_writer.hpp"
+
+namespace caem::core {
+
+namespace {
+
+// ------------------------------------------------------------- serialize
+
+void put_series(std::ostringstream& out, const char* key, const util::TimeSeries& series) {
+  out << '"' << key << "\":{\"t\":[";
+  const auto& points = series.points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) out << ',';
+    out << util::format_full(points[i].time_s);
+  }
+  out << "],\"v\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) out << ',';
+    out << util::format_full(points[i].value);
+  }
+  out << "]}";
+}
+
+// ----------------------------------------------------- minimal JSON read
+//
+// Just enough JSON for the documents `to_json` emits (objects, arrays,
+// numbers, strings, booleans).  Numbers keep their raw token so 64-bit
+// counters convert losslessly via strtoull instead of through a double.
+
+struct JsonValue {
+  enum class Kind { kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNumber;
+  bool boolean = false;
+  std::string text;  ///< raw number token, or decoded string contents
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("RunResult JSON: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kString;
+      value.text = parse_string();
+      return value;
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      expect(':');
+      value.object.emplace(std::move(key), parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return value;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      value.array.push_back(parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return value;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: fail(std::string("unsupported escape '\\") + escaped + "'");
+        }
+        continue;
+      }
+      out += c;
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    fail("expected boolean");
+  }
+
+  JsonValue parse_number() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.text = std::string(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------- typed field reads
+
+const JsonValue& require(const JsonValue& object, const char* key) {
+  if (object.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("RunResult JSON: expected object around '" + std::string(key) +
+                                "'");
+  }
+  const auto it = object.object.find(key);
+  if (it == object.object.end()) {
+    throw std::invalid_argument("RunResult JSON: missing field '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+double read_double(const JsonValue& object, const char* key) {
+  const JsonValue& value = require(object, key);
+  if (value.kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("RunResult JSON: field '" + std::string(key) +
+                                "' is not a number");
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value.text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument("RunResult JSON: bad number in '" + std::string(key) + "'");
+  }
+  return parsed;
+}
+
+std::uint64_t read_u64(const JsonValue& object, const char* key) {
+  const JsonValue& value = require(object, key);
+  if (value.kind != JsonValue::Kind::kNumber || value.text.empty() || value.text[0] == '-') {
+    throw std::invalid_argument("RunResult JSON: field '" + std::string(key) +
+                                "' is not an unsigned integer");
+  }
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value.text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument("RunResult JSON: bad integer in '" + std::string(key) + "'");
+  }
+  return parsed;
+}
+
+/// Strictly parse one array element as a number (kind AND full-token
+/// checks): a corrupt cache entry must throw and read as a miss, never
+/// load truncated data.
+double element_double(const JsonValue& element, const char* context) {
+  if (element.kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("RunResult JSON: non-number element in '" +
+                                std::string(context) + "'");
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(element.text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument("RunResult JSON: bad number '" + element.text + "' in '" +
+                                std::string(context) + "'");
+  }
+  return parsed;
+}
+
+std::uint64_t element_u64(const JsonValue& element, const char* context) {
+  if (element.kind != JsonValue::Kind::kNumber || element.text.empty() ||
+      element.text[0] == '-') {
+    throw std::invalid_argument("RunResult JSON: non-integer element in '" +
+                                std::string(context) + "'");
+  }
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(element.text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument("RunResult JSON: bad integer '" + element.text + "' in '" +
+                                std::string(context) + "'");
+  }
+  return parsed;
+}
+
+util::TimeSeries read_series(const JsonValue& object, const char* key) {
+  const JsonValue& value = require(object, key);
+  const JsonValue& times = require(value, "t");
+  const JsonValue& values = require(value, "v");
+  if (times.kind != JsonValue::Kind::kArray || values.kind != JsonValue::Kind::kArray ||
+      times.array.size() != values.array.size()) {
+    throw std::invalid_argument("RunResult JSON: malformed series '" + std::string(key) + "'");
+  }
+  util::TimeSeries series;
+  for (std::size_t i = 0; i < times.array.size(); ++i) {
+    series.add(element_double(times.array[i], key), element_double(values.array[i], key));
+  }
+  return series;
+}
+
+}  // namespace
+
+std::string to_json(const RunResult& result) {
+  std::ostringstream out;
+  const auto field_u = [&out](const char* key, std::uint64_t value) {
+    out << '"' << key << "\":" << value << ',';
+  };
+  const auto field_d = [&out](const char* key, double value) {
+    out << '"' << key << "\":" << util::format_full(value) << ',';
+  };
+  out << "{\"v\":" << kRunResultJsonVersion << ',';
+  out << "\"protocol\":\"" << to_string(result.protocol) << "\",";
+  field_u("seed", result.seed);
+  field_d("sim_end_s", result.sim_end_s);
+  field_u("executed_events", result.executed_events);
+  field_u("generated", result.generated);
+  field_u("delivered_air", result.delivered_air);
+  field_u("delivered_self", result.delivered_self);
+  field_u("dropped_overflow", result.dropped_overflow);
+  field_u("dropped_retry", result.dropped_retry);
+  field_u("dropped_death", result.dropped_death);
+  field_u("collisions", result.collisions);
+  field_d("delivery_rate", result.delivery_rate);
+  field_d("mean_delay_s", result.mean_delay_s);
+  field_d("p95_delay_s", result.p95_delay_s);
+  field_d("throughput_bps", result.throughput_bps);
+  field_d("total_consumed_j", result.total_consumed_j);
+  field_d("energy_per_delivered_packet_j", result.energy_per_delivered_packet_j);
+  out << "\"lifetime\":{";
+  out << "\"first_death_s\":" << util::format_full(result.lifetime.first_death_s) << ',';
+  out << "\"network_death_s\":" << util::format_full(result.lifetime.network_death_s) << ',';
+  out << "\"last_death_s\":" << util::format_full(result.lifetime.last_death_s) << ',';
+  out << "\"deaths\":" << result.lifetime.deaths << "},";
+  field_u("final_alive", result.final_alive);
+  field_d("mean_queue_stddev", result.mean_queue_stddev);
+  out << "\"mac\":{";
+  out << "\"wakeups\":" << result.mac.wakeups << ',';
+  out << "\"checks\":" << result.mac.checks << ',';
+  out << "\"csi_denied\":" << result.mac.csi_denied << ',';
+  out << "\"deadline_overrides\":" << result.mac.deadline_overrides << ',';
+  out << "\"busy_denied\":" << result.mac.busy_denied << ',';
+  out << "\"bursts_started\":" << result.mac.bursts_started << ',';
+  out << "\"bursts_completed\":" << result.mac.bursts_completed << ',';
+  out << "\"frames_sent\":" << result.mac.frames_sent << ',';
+  out << "\"frames_failed\":" << result.mac.frames_failed << ',';
+  out << "\"collisions\":" << result.mac.collisions << ',';
+  out << "\"packets_dropped_retry\":" << result.mac.packets_dropped_retry << "},";
+  out << "\"delivered_per_mode\":[" << result.delivered_per_mode[0] << ','
+      << result.delivered_per_mode[1] << ',' << result.delivered_per_mode[2] << ','
+      << result.delivered_per_mode[3] << "],";
+  field_u("threshold_lower_events", result.threshold_lower_events);
+  field_u("threshold_raise_events", result.threshold_raise_events);
+  put_series(out, "avg_remaining_energy", result.avg_remaining_energy);
+  out << ',';
+  put_series(out, "nodes_alive", result.nodes_alive);
+  out << '}';
+  return out.str();
+}
+
+RunResult run_result_from_json(std::string_view json) {
+  const JsonValue doc = JsonParser(json).parse_document();
+  if (static_cast<long long>(read_u64(doc, "v")) != kRunResultJsonVersion) {
+    throw std::invalid_argument("RunResult JSON: unsupported version");
+  }
+  RunResult result;
+  result.protocol = protocol_from_string(require(doc, "protocol").text);
+  result.seed = read_u64(doc, "seed");
+  result.sim_end_s = read_double(doc, "sim_end_s");
+  result.executed_events = read_u64(doc, "executed_events");
+  result.generated = read_u64(doc, "generated");
+  result.delivered_air = read_u64(doc, "delivered_air");
+  result.delivered_self = read_u64(doc, "delivered_self");
+  result.dropped_overflow = read_u64(doc, "dropped_overflow");
+  result.dropped_retry = read_u64(doc, "dropped_retry");
+  result.dropped_death = read_u64(doc, "dropped_death");
+  result.collisions = read_u64(doc, "collisions");
+  result.delivery_rate = read_double(doc, "delivery_rate");
+  result.mean_delay_s = read_double(doc, "mean_delay_s");
+  result.p95_delay_s = read_double(doc, "p95_delay_s");
+  result.throughput_bps = read_double(doc, "throughput_bps");
+  result.total_consumed_j = read_double(doc, "total_consumed_j");
+  result.energy_per_delivered_packet_j = read_double(doc, "energy_per_delivered_packet_j");
+  const JsonValue& lifetime = require(doc, "lifetime");
+  result.lifetime.first_death_s = read_double(lifetime, "first_death_s");
+  result.lifetime.network_death_s = read_double(lifetime, "network_death_s");
+  result.lifetime.last_death_s = read_double(lifetime, "last_death_s");
+  result.lifetime.deaths = read_u64(lifetime, "deaths");
+  result.final_alive = read_u64(doc, "final_alive");
+  result.mean_queue_stddev = read_double(doc, "mean_queue_stddev");
+  const JsonValue& mac = require(doc, "mac");
+  result.mac.wakeups = read_u64(mac, "wakeups");
+  result.mac.checks = read_u64(mac, "checks");
+  result.mac.csi_denied = read_u64(mac, "csi_denied");
+  result.mac.deadline_overrides = read_u64(mac, "deadline_overrides");
+  result.mac.busy_denied = read_u64(mac, "busy_denied");
+  result.mac.bursts_started = read_u64(mac, "bursts_started");
+  result.mac.bursts_completed = read_u64(mac, "bursts_completed");
+  result.mac.frames_sent = read_u64(mac, "frames_sent");
+  result.mac.frames_failed = read_u64(mac, "frames_failed");
+  result.mac.collisions = read_u64(mac, "collisions");
+  result.mac.packets_dropped_retry = read_u64(mac, "packets_dropped_retry");
+  const JsonValue& modes = require(doc, "delivered_per_mode");
+  if (modes.kind != JsonValue::Kind::kArray || modes.array.size() != 4) {
+    throw std::invalid_argument("RunResult JSON: delivered_per_mode must have 4 entries");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    result.delivered_per_mode[i] = element_u64(modes.array[i], "delivered_per_mode");
+  }
+  result.threshold_lower_events = read_u64(doc, "threshold_lower_events");
+  result.threshold_raise_events = read_u64(doc, "threshold_raise_events");
+  result.avg_remaining_energy = read_series(doc, "avg_remaining_energy");
+  result.nodes_alive = read_series(doc, "nodes_alive");
+  return result;
+}
+
+}  // namespace caem::core

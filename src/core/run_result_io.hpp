@@ -1,0 +1,31 @@
+// run_result_io.hpp — compact JSON (de)serialization of RunResult.
+//
+// A serialized RunResult is the unit of the scenario result cache and
+// the substrate of the per-cell trace artifacts: every field — including
+// the Fig 8/Fig 9 `TimeSeries` traces — round-trips exactly.  Doubles
+// are written at full round-trip precision (%.17g), so a result loaded
+// from the cache is bit-for-bit the result that was stored, and any CSV
+// rendered from it is byte-identical to one rendered from the original
+// in-memory run (a tested contract).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/simulation_runner.hpp"
+
+namespace caem::core {
+
+/// Format version embedded in every document ("v" key).  Bump when
+/// RunResult gains/loses fields; readers reject other versions so a
+/// stale cache entry can never masquerade as a fresh result.
+inline constexpr long long kRunResultJsonVersion = 1;
+
+/// One-line compact JSON document.
+[[nodiscard]] std::string to_json(const RunResult& result);
+
+/// Parse a document produced by `to_json`.  Throws std::invalid_argument
+/// on malformed JSON, a missing field, or a version mismatch.
+[[nodiscard]] RunResult run_result_from_json(std::string_view json);
+
+}  // namespace caem::core

@@ -1,9 +1,14 @@
 #include "scenario/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+
+#include "scenario/result_cache.hpp"
+#include "util/time_series.hpp"
 
 namespace caem::scenario {
 
@@ -12,7 +17,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
   ScenarioResult result;
   result.scenario_name = spec.name;
-  for (const Axis& axis : spec.axes) result.axis_keys.push_back(axis.key);
+  for (const Axis& axis : spec.axes) {
+    for (std::string& key : axis_key_components(axis.key)) {
+      result.axis_keys.push_back(std::move(key));
+    }
+  }
 
   const std::vector<GridPoint> grid = expand_grid(spec.axes);
   const std::size_t protocol_count = spec.protocols.size();
@@ -25,23 +34,57 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   for (const GridPoint& point : grid) configs.push_back(spec.config_at(point));
 
   result.total_jobs = grid.size() * protocol_count * reps;
+  result.cache_enabled = !spec.cache_dir.empty() && spec.use_cache;
+  if (result.cache_enabled && !spec.flatten) {
+    throw std::invalid_argument(
+        "scenario.flatten=0 is incompatible with the result cache (cache lookups partition the "
+        "flattened queue; drop scenario.cache_dir or re-enable flattening)");
+  }
+
+  // Job order is (point, protocol, rep) row-major so fold-back is an
+  // index computation, and each job's seed depends only on its rep
+  // index — results are independent of thread scheduling.
+  const auto run_job = [&](std::size_t i) {
+    const std::size_t rep = i % reps;
+    const std::size_t protocol_index = (i / reps) % protocol_count;
+    const std::size_t point_index = i / (reps * protocol_count);
+    return core::SimulationRunner::run(configs[point_index], spec.protocols[protocol_index],
+                                       spec.base_seed + rep, spec.options);
+  };
+
   std::vector<core::RunResult> runs;
-  if (spec.flatten) {
-    // One queue over the whole cross product; job order is
-    // (point, protocol, rep) row-major so fold-back is an index
-    // computation, and each job's seed depends only on its rep index —
-    // results are independent of thread scheduling.
-    runs = core::parallel_runs(
-        result.total_jobs,
-        [&](std::size_t i) {
-          const std::size_t rep = i % reps;
-          const std::size_t protocol_index = (i / reps) % protocol_count;
-          const std::size_t point_index = i / (reps * protocol_count);
-          return core::SimulationRunner::run(configs[point_index],
-                                             spec.protocols[protocol_index],
-                                             spec.base_seed + rep, spec.options);
-        },
-        spec.threads);
+  if (result.cache_enabled) {
+    // Cache-partitioned flattened queue: hits fill their slot without
+    // ever being enqueued; only the misses run, then get stored.
+    const ResultCache cache(spec.cache_dir);
+    runs.resize(result.total_jobs);
+    std::vector<std::string> paths(result.total_jobs);
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < result.total_jobs; ++i) {
+      const std::size_t rep = i % reps;
+      const std::size_t protocol_index = (i / reps) % protocol_count;
+      const std::size_t point_index = i / (reps * protocol_count);
+      paths[i] = cache.entry_path(configs[point_index], spec.protocols[protocol_index],
+                                  spec.base_seed + rep, spec.options);
+      if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
+        runs[i] = std::move(*hit);
+        ++result.cache_hits;
+      } else {
+        pending.push_back(i);
+      }
+    }
+    std::vector<core::RunResult> executed = core::parallel_runs(
+        pending.size(), [&](std::size_t j) { return run_job(pending[j]); }, spec.threads);
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      cache.store(paths[pending[j]], executed[j]);
+      runs[pending[j]] = std::move(executed[j]);
+    }
+    result.executed_jobs = pending.size();
+  } else if (spec.flatten) {
+    // One queue over the whole cross product — the irregular-wavefront
+    // idiom: keep every worker busy as long as ANY job remains.
+    runs = core::parallel_runs(result.total_jobs, run_job, spec.threads);
+    result.executed_jobs = result.total_jobs;
   } else {
     // Legacy barrier mode: one small pool per (point, protocol), joined
     // before the next starts.  Kept for wall-clock A/B comparisons.
@@ -53,7 +96,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         for (core::RunResult& run : replicated.runs) runs.push_back(std::move(run));
       }
     }
+    result.executed_jobs = result.total_jobs;
   }
+  result.cache_misses = result.total_jobs - result.cache_hits;
 
   // Fold back per (point, protocol) in expansion order.
   result.points.reserve(grid.size());
@@ -81,7 +126,7 @@ util::TableWriter summary_table(const ScenarioResult& result) {
   for (const char* column :
        {"protocol", "lifetime_s", "first_death_s", "delivery_rate", "mean_delay_s",
         "p95_delay_s", "energy_per_packet_j", "throughput_bps", "queue_stddev",
-        "consumed_j", "reps"}) {
+        "consumed_j", "reps", "n_delivering"}) {
     headers.emplace_back(column);
   }
   util::TableWriter table(std::move(headers));
@@ -103,13 +148,19 @@ util::TableWriter summary_table(const ScenarioResult& result) {
           .cell(r.throughput_bps.mean(), 0)
           .cell(r.queue_stddev.mean(), 3)
           .cell(r.total_consumed_j.mean(), 2)
-          .cell(r.runs.size());
+          .cell(r.runs.size())
+          // Runs that delivered over the air — the only ones fold_runs
+          // lets contribute to the delivery/delay/energy-per-packet
+          // means above.  n_delivering < reps flags cells whose means
+          // rest on a subset of the replications.
+          .cell(r.delivery_rate.count());
     }
   }
   return table;
 }
 
 namespace {
+
 void write_with(const util::TableWriter& table, const std::string& path, const char* what,
                 void (util::TableWriter::*render)(std::ostream&) const, std::ostream& log) {
   std::ofstream out(path);
@@ -117,17 +168,70 @@ void write_with(const util::TableWriter& table, const std::string& path, const c
   (table.*render)(out);
   log << "wrote " << what << ": " << path << "\n";
 }
+
+/// One trace CSV per (point, protocol): the replication-mean Fig 8
+/// (remaining energy, piecewise-linear) and Fig 9 (nodes alive, step)
+/// traces on a uniform grid over the cell's simulated span.  Every value
+/// is rendered at full round-trip precision, so a sweep re-run from pure
+/// cache hits produces byte-identical files (a tested contract).
+void write_trace_artifacts(const ScenarioResult& result, const ScenarioSpec& spec,
+                           std::ostream& log) {
+  namespace fs = std::filesystem;
+  std::error_code error;
+  fs::create_directories(spec.trace_dir, error);
+  if (error) {
+    throw std::runtime_error("cannot create trace dir '" + spec.trace_dir +
+                             "': " + error.message());
+  }
+  for (const PointResult& point : result.points) {
+    for (const ProtocolResult& entry : point.protocols) {
+      const std::vector<core::RunResult>& runs = entry.replicated.runs;
+      double span_s = 0.0;
+      std::vector<const util::TimeSeries*> energy;
+      std::vector<const util::TimeSeries*> alive;
+      energy.reserve(runs.size());
+      alive.reserve(runs.size());
+      for (const core::RunResult& run : runs) {
+        span_s = std::max(span_s, run.sim_end_s);
+        energy.push_back(&run.avg_remaining_energy);
+        alive.push_back(&run.nodes_alive);
+      }
+      const std::vector<double> grid = util::uniform_grid(0.0, span_s, spec.trace_points);
+      const util::TimeSeries energy_mean = util::fold_mean(energy, grid, util::FoldMode::kLinear);
+      const util::TimeSeries alive_mean = util::fold_mean(alive, grid, util::FoldMode::kStep);
+
+      const fs::path path = fs::path(spec.trace_dir) /
+                            ("p" + std::to_string(point.point.index) + "_" +
+                             core::to_string(entry.protocol) + ".csv");
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot write trace to '" + path.string() + "'");
+      out << "# scenario " << result.scenario_name << ": " << describe(point.point)
+          << "; protocol " << core::to_string(entry.protocol) << "; reps " << runs.size()
+          << "\n";
+      out << "t_s,avg_remaining_energy_j,nodes_alive\n";
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        out << util::format_full(energy_mean.points()[i].time_s) << ','
+            << util::format_full(energy_mean.points()[i].value) << ','
+            << util::format_full(alive_mean.points()[i].value) << '\n';
+      }
+      log << "wrote trace: " << path.string() << "\n";
+    }
+  }
+}
+
 }  // namespace
 
 void write_outputs(const ScenarioResult& result, const ScenarioSpec& spec, std::ostream& log) {
-  if (spec.csv_path.empty() && spec.json_path.empty()) return;
-  const util::TableWriter table = summary_table(result);
-  if (!spec.csv_path.empty()) {
-    write_with(table, spec.csv_path, "csv", &util::TableWriter::render_csv, log);
+  if (!spec.csv_path.empty() || !spec.json_path.empty()) {
+    const util::TableWriter table = summary_table(result);
+    if (!spec.csv_path.empty()) {
+      write_with(table, spec.csv_path, "csv", &util::TableWriter::render_csv, log);
+    }
+    if (!spec.json_path.empty()) {
+      write_with(table, spec.json_path, "json", &util::TableWriter::render_json, log);
+    }
   }
-  if (!spec.json_path.empty()) {
-    write_with(table, spec.json_path, "json", &util::TableWriter::render_json, log);
-  }
+  if (!spec.trace_dir.empty()) write_trace_artifacts(result, spec, log);
 }
 
 }  // namespace caem::scenario

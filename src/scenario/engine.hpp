@@ -40,23 +40,43 @@ struct PointResult {
 
 struct ScenarioResult {
   std::string scenario_name;
-  std::vector<std::string> axis_keys;  ///< sorted, matches assignment order
+  /// Component axis keys (joint axes split), sorted by axis, matching
+  /// each point's assignment order.
+  std::vector<std::string> axis_keys;
   std::vector<PointResult> points;     ///< grid expansion order
   std::size_t total_jobs = 0;
+  bool cache_enabled = false;
+  std::size_t cache_hits = 0;      ///< jobs satisfied from the result cache
+  std::size_t cache_misses = 0;    ///< total_jobs - cache_hits
+  std::size_t executed_jobs = 0;   ///< jobs actually simulated (== misses)
   double wall_s = 0.0;  ///< end-to-end engine time (expansion + runs + fold)
 };
 
 /// Run the scenario.  spec.flatten=false falls back to the legacy
 /// per-point run_replicated barriers (kept for A/B perf measurement and
 /// as a determinism cross-check — both modes produce identical results).
+///
+/// With spec.cache_dir set (and use_cache), every (config digest,
+/// protocol, seed) cell is first looked up in the ResultCache: hits are
+/// never enqueued, misses execute on the flattened queue and are stored
+/// afterwards, so re-running a sweep after editing one axis only
+/// executes the new cells.  Caching requires the flattened queue
+/// (throws std::invalid_argument with scenario.flatten=0).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
 
 /// Summary table: one row per (point, protocol) with the axis columns
-/// first, then the headline scalars.
+/// first, then the headline scalars.  `reps` counts all folded runs;
+/// `n_delivering` counts the runs that delivered at least one packet
+/// over the air and therefore contributed to the delivery_rate /
+/// delay / energy-per-packet means (core::fold_runs excludes the rest —
+/// this column is that exclusion contract made visible).
 [[nodiscard]] util::TableWriter summary_table(const ScenarioResult& result);
 
-/// Write spec-requested artifacts (CSV/JSON of the summary table);
-/// logs each written path to `log`.  Throws on unwritable paths.
+/// Write spec-requested artifacts: CSV/JSON of the summary table, plus —
+/// when spec.trace_dir is set — one per-(point, protocol) time-series
+/// CSV (`t_s, avg_remaining_energy_j, nodes_alive`, replication-mean,
+/// spec.trace_points samples over the cell's simulated span).  Logs each
+/// written path to `log`.  Throws on unwritable paths.
 void write_outputs(const ScenarioResult& result, const ScenarioSpec& spec, std::ostream& log);
 
 }  // namespace caem::scenario

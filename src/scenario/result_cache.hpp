@@ -1,0 +1,64 @@
+// result_cache.hpp — digest-keyed persistent store of finished runs.
+//
+// A simulation run is a pure function of (NetworkConfig, protocol, seed,
+// RunOptions): caching its RunResult under a key derived from exactly
+// those inputs makes sweeps resumable and incremental — re-running a
+// scenario after editing one axis only executes the new cells, the same
+// utility-per-byte argument UtilCache makes for link-cost reduction.
+//
+// Layout (one JSON document per run):
+//
+//   <root>/<config digest>/<protocol>_s<seed>_h<max_sim_s>_d<0|1>.json
+//
+// The directory level is NetworkConfig::digest() — the canonical content
+// hash of every simulation knob — so all cells sharing a materialised
+// config (its protocols and replications) live together and a config
+// edit naturally lands in a fresh directory.  The filename carries the
+// remaining key inputs in human-readable form: protocol name, seed, the
+// horizon (`h`, full-precision) and the run_to_death flag (`d`).
+//
+// Invalidation is purely structural: there is no TTL and no eviction —
+// an entry is valid forever because its key pins every input, including
+// a simulation-semantics version inside the canonical text (bumped when
+// simulator behavior changes for identical inputs, so old cache dirs
+// can never serve pre-change numbers).  Anything unreadable or
+// unparseable (partial write, format-version bump, hand edit) is
+// treated as a miss and recomputed/overwritten, never trusted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "core/simulation_runner.hpp"
+
+namespace caem::scenario {
+
+class ResultCache {
+ public:
+  /// @param root  cache directory (created lazily on first store)
+  explicit ResultCache(std::string root);
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+  /// Path of the entry for one (config, protocol, seed, options) cell.
+  [[nodiscard]] std::string entry_path(const core::NetworkConfig& config,
+                                       core::Protocol protocol, std::uint64_t seed,
+                                       const core::RunOptions& options) const;
+
+  /// Load an entry; std::nullopt on any failure (absent, unparseable,
+  /// version mismatch) — corrupt entries read as misses, never as data.
+  [[nodiscard]] std::optional<core::RunResult> load(const std::string& path) const;
+
+  /// Store a finished run (creates parent directories).  Throws
+  /// std::runtime_error on an unwritable path — a configured cache that
+  /// silently drops writes would re-execute everything forever.
+  void store(const std::string& path, const core::RunResult& result) const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace caem::scenario

@@ -84,6 +84,8 @@ void ScenarioSpec::apply_entry(const std::string& key, const std::string& value)
       flatten = parse_bool(key, value);
     } else if (field == "threads") {
       threads = static_cast<std::size_t>(parse_int(key, value));
+    } else if (field == "cache_dir") {
+      cache_dir = value;
     } else {
       throw std::invalid_argument("unknown scenario key '" + key + "'");
     }
@@ -109,9 +111,15 @@ void ScenarioSpec::apply_entry(const std::string& key, const std::string& value)
       csv_path = value;
     } else if (field == "json") {
       json_path = value;
+    } else if (field == "trace") {
+      trace_dir = value;
+    } else if (field == "trace_points") {
+      const long long points = parse_int(key, value);
+      if (points < 2) throw std::invalid_argument("output.trace_points must be >= 2");
+      trace_points = static_cast<std::size_t>(points);
     } else {
-      throw std::invalid_argument("unknown output key '" + key + "' (expected output.csv or "
-                                  "output.json)");
+      throw std::invalid_argument("unknown output key '" + key + "' (expected output.csv, "
+                                  "output.json, output.trace or output.trace_points)");
     }
     return;
   }
@@ -130,7 +138,7 @@ void ScenarioSpec::validate_base_overrides() const {
     if (axis.values.empty()) {
       throw std::invalid_argument("sweep axis '" + axis.key + "' has no values");
     }
-    first.assignments.emplace_back(axis.key, axis.values.front());
+    append_assignments(axis, axis.values.front(), first.assignments);
   }
   (void)config_at(first);
 }

@@ -4,9 +4,12 @@
 // includes, CRLF tolerated) with three reserved prefixes:
 //
 //   scenario.*   run control: name, protocols, seed, reps, max_sim_s,
-//                run_to_death, flatten, threads
-//   sweep.*      grid axes over NetworkConfig keys (list:/range: specs)
-//   output.*     artifact paths: output.csv, output.json
+//                run_to_death, flatten, threads, cache_dir
+//   sweep.*      grid axes over NetworkConfig keys (list:/range: specs;
+//                a comma-joint key sweeps several keys in lockstep)
+//   output.*     artifact paths: output.csv, output.json, output.trace
+//                (per-cell time-series CSV dir; output.trace_points sets
+//                the sample count)
 //
 // Every other key is a NetworkConfig override applied to the base
 // config of every grid point.  Unknown keys — in any namespace — are a
@@ -46,6 +49,19 @@ struct ScenarioSpec {
 
   std::string csv_path;   ///< output.csv ("" = skip)
   std::string json_path;  ///< output.json ("" = skip)
+  /// output.trace: directory receiving one cross-replication time-series
+  /// CSV per (grid point, protocol) cell ("" = skip).
+  std::string trace_dir;
+  /// output.trace_points: samples per trace CSV (uniform grid over the
+  /// cell's simulated span).
+  std::size_t trace_points = 101;
+
+  /// scenario.cache_dir / `caem run --cache-dir`: digest-keyed result
+  /// cache root ("" = caching disabled).  See scenario/result_cache.hpp.
+  std::string cache_dir;
+  /// `caem run --no-cache`: keep cache_dir (for provenance/stats) but
+  /// neither read nor write it.
+  bool use_cache = true;
 
   /// Load a scenario file.  Throws std::invalid_argument on syntax
   /// errors, unknown keys, bad axis specs or inconsistent config values.

@@ -46,9 +46,45 @@ std::string format_value(double value) {
 
 }  // namespace
 
+std::vector<std::string> axis_key_components(const std::string& key) {
+  std::vector<std::string> keys;
+  for (const std::string& part : split(key, ',')) {
+    const std::string component = util::trim(part);
+    if (component.empty()) {
+      throw std::invalid_argument("sweep axis '" + key + "': empty component key");
+    }
+    keys.push_back(component);
+  }
+  return keys;
+}
+
+void append_assignments(const Axis& axis, const std::string& value,
+                        std::vector<std::pair<std::string, std::string>>& out) {
+  const std::vector<std::string> keys = axis_key_components(axis.key);
+  if (keys.size() == 1) {
+    out.emplace_back(keys[0], value);
+    return;
+  }
+  const std::vector<std::string> parts = split(value, '/');
+  if (parts.size() != keys.size()) {
+    throw std::invalid_argument("sweep axis '" + axis.key + "': value '" + value + "' has " +
+                                std::to_string(parts.size()) + " component(s), expected " +
+                                std::to_string(keys.size()));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string component = util::trim(parts[i]);
+    if (component.empty()) {
+      throw std::invalid_argument("sweep axis '" + axis.key + "': empty component in '" + value +
+                                  "'");
+    }
+    out.emplace_back(keys[i], component);
+  }
+}
+
 Axis parse_axis(const std::string& key, const std::string& spec) {
   Axis axis;
   axis.key = key;
+  const bool joint = key.find(',') != std::string::npos;
   if (spec.rfind("list:", 0) == 0) {
     for (const std::string& part : split(spec.substr(5), ',')) {
       const std::string value = util::trim(part);
@@ -58,7 +94,17 @@ Axis parse_axis(const std::string& key, const std::string& spec) {
       }
       axis.values.push_back(value);
     }
+    // Validate joint values eagerly (component counts, no empties) so a
+    // malformed spec fails at parse time, not mid-expansion.
+    if (joint) {
+      std::vector<std::pair<std::string, std::string>> scratch;
+      for (const std::string& value : axis.values) append_assignments(axis, value, scratch);
+    }
     return axis;
+  }
+  if (joint) {
+    throw std::invalid_argument("sweep axis '" + key +
+                                "': joint axes (comma-separated keys) accept list: specs only");
   }
   if (spec.rfind("range:", 0) == 0) {
     const auto parts = split(spec.substr(6), ':');
@@ -101,6 +147,7 @@ std::vector<GridPoint> expand_grid(const std::vector<Axis>& axes) {
   const std::size_t total = grid_size(axes);
   std::vector<GridPoint> points;
   points.reserve(total);
+  std::vector<std::size_t> picks(axes.size(), 0);
   for (std::size_t index = 0; index < total; ++index) {
     GridPoint point;
     point.index = index;
@@ -108,11 +155,14 @@ std::vector<GridPoint> expand_grid(const std::vector<Axis>& axes) {
     // Odometer decode: last axis varies fastest.
     std::size_t remainder = index;
     for (std::size_t a = axes.size(); a-- > 0;) {
-      const std::size_t pick = remainder % axes[a].values.size();
+      picks[a] = remainder % axes[a].values.size();
       remainder /= axes[a].values.size();
-      point.assignments.emplace_back(axes[a].key, axes[a].values[pick]);
     }
-    std::reverse(point.assignments.begin(), point.assignments.end());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      // Joint axes ("k1,k2" with "v1/v2" values) expand to one
+      // assignment per component key, in key order.
+      append_assignments(axes[a], axes[a].values[picks[a]], point.assignments);
+    }
     points.push_back(std::move(point));
   }
   return points;

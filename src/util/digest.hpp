@@ -1,0 +1,32 @@
+// digest.hpp — content hashing for cache keys and provenance.
+//
+// Reuses the FNV-1a 64-bit hash the RNG registry already ships
+// (util/rng.hpp): not cryptographic, but stable across
+// platforms/compilers (pure integer arithmetic over bytes), which is
+// what a result cache keyed by config content needs — the same config
+// must hash identically on every machine that shares the cache
+// directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace caem::util {
+
+/// Fixed-width (16 char) lowercase hex rendering of a 64-bit digest.
+[[nodiscard]] inline std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0; value >>= 4) out[i] = kDigits[value & 0xF];
+  return out;
+}
+
+/// 16-hex-char FNV-1a digest of arbitrary canonical text.
+[[nodiscard]] inline std::string content_digest(std::string_view text) noexcept {
+  return hex64(fnv1a64(text));
+}
+
+}  // namespace caem::util

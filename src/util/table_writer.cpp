@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -11,6 +12,12 @@ std::string format_fixed(double value, int precision) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(precision) << value;
   return out.str();
+}
+
+std::string format_full(double value) {
+  char buffer[40];
+  const int written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return std::string(buffer, written > 0 ? static_cast<std::size_t>(written) : 0);
 }
 
 TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}

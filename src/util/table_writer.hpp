@@ -45,4 +45,10 @@ class TableWriter {
 /// Format a double with fixed precision (shared by TableWriter and logs).
 [[nodiscard]] std::string format_fixed(double value, int precision);
 
+/// Format a double with full round-trip precision (%.17g): parsing the
+/// result with strtod recovers the exact same bits.  Used by the
+/// RunResult serializer and the trace CSVs, whose byte-identity across a
+/// compute/cache-load round trip is a tested contract.
+[[nodiscard]] std::string format_full(double value);
+
 }  // namespace caem::util

@@ -66,6 +66,36 @@ TimeSeries TimeSeries::resample(double t0, double t1, std::size_t n) const {
   return out;
 }
 
+std::vector<double> uniform_grid(double t0, double t1, std::size_t n) {
+  std::vector<double> grid;
+  grid.reserve(n);
+  if (n == 0) return grid;
+  if (n == 1) {
+    grid.push_back(t0);
+    return grid;
+  }
+  const double step = (t1 - t0) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) grid.push_back(t0 + static_cast<double>(i) * step);
+  return grid;
+}
+
+TimeSeries fold_mean(const std::vector<const TimeSeries*>& traces,
+                     const std::vector<double>& grid, FoldMode mode) {
+  if (traces.empty()) throw std::invalid_argument("fold_mean: no traces");
+  for (const TimeSeries* trace : traces) {
+    if (trace == nullptr) throw std::invalid_argument("fold_mean: null trace");
+  }
+  TimeSeries folded;
+  for (const double t : grid) {
+    double sum = 0.0;
+    for (const TimeSeries* trace : traces) {
+      sum += mode == FoldMode::kLinear ? trace->value_at(t) : trace->step_value_at(t);
+    }
+    folded.add(t, sum / static_cast<double>(traces.size()));
+  }
+  return folded;
+}
+
 double TimeSeries::integral() const noexcept {
   double area = 0.0;
   for (std::size_t i = 1; i < points_.size(); ++i) {

@@ -50,4 +50,23 @@ class TimeSeries {
   std::vector<TimePoint> points_;
 };
 
+/// How `fold_mean` samples each series at a grid time.
+enum class FoldMode {
+  kLinear,  ///< piecewise-linear `value_at` (continuous traces, e.g. energy)
+  kStep,    ///< sample-and-hold `step_value_at` (counts, e.g. nodes alive)
+};
+
+/// `n` evenly spaced times covering [t0, t1] inclusive (t0 alone for
+/// n == 1; empty for n == 0).  Times are computed as t0 + i * step, the
+/// same arithmetic everywhere, so trace grids are reproducible.
+[[nodiscard]] std::vector<double> uniform_grid(double t0, double t1, std::size_t n);
+
+/// Cross-replication trace fold: the pointwise mean of `traces` sampled
+/// at each grid time (the loop every figure bench used to inline).
+/// Throws std::invalid_argument when `traces` is empty or contains a
+/// null pointer; empty member series contribute 0 at every time, like
+/// `value_at` on an empty series.
+[[nodiscard]] TimeSeries fold_mean(const std::vector<const TimeSeries*>& traces,
+                                   const std::vector<double>& grid, FoldMode mode);
+
 }  // namespace caem::util

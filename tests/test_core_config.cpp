@@ -97,6 +97,63 @@ TEST(Protocol, NamesRoundTrip) {
   EXPECT_THROW(protocol_from_string("bogus"), std::invalid_argument);
 }
 
+TEST(NetworkConfig, DigestIsCanonicalAndKnobSensitive) {
+  const NetworkConfig base;
+  // Deterministic and value-based: two default-constructed configs agree.
+  EXPECT_EQ(base.digest(), NetworkConfig{}.digest());
+  EXPECT_EQ(base.digest().size(), 16u);
+
+  // Every knob class feeds the digest: scalar, nested struct, enum,
+  // string.  A cache keyed by this digest must never alias two configs
+  // that simulate differently.
+  NetworkConfig edited = base;
+  edited.traffic_rate_pps = 6.0;
+  EXPECT_NE(edited.digest(), base.digest());
+  edited = base;
+  edited.burst.max_packets = 16;
+  EXPECT_NE(edited.digest(), base.digest());
+  edited = base;
+  edited.channel.fading_kind = channel::FadingKind::kBlock;
+  EXPECT_NE(edited.digest(), base.digest());
+  edited = base;
+  edited.traffic_kind = "cbr";
+  EXPECT_NE(edited.digest(), base.digest());
+
+  // The canonical text is what apply_overrides would reproduce: applying
+  // an override and then reverting restores the digest exactly.
+  edited = base;
+  edited.apply_overrides(util::Config::from_args({"channel.doppler_hz=9"}));
+  EXPECT_NE(edited.digest(), base.digest());
+  edited.apply_overrides(util::Config::from_args({"channel.doppler_hz=3"}));
+  EXPECT_EQ(edited.digest(), base.digest());
+}
+
+TEST(NetworkConfig, FadingKindOverrideRoundTrips) {
+  NetworkConfig config;
+  config.apply_overrides(util::Config::from_args({"channel.fading_kind=rician"}));
+  EXPECT_EQ(config.channel.fading_kind, channel::FadingKind::kRician);
+  config.apply_overrides(util::Config::from_args({"channel.fading_kind=jakes-rayleigh"}));
+  EXPECT_EQ(config.channel.fading_kind, channel::FadingKind::kJakesRayleigh);
+  EXPECT_THROW(config.apply_overrides(util::Config::from_args({"channel.fading_kind=bogus"})),
+               std::invalid_argument);
+  EXPECT_EQ(channel::fading_kind_from_string(channel::to_string(channel::FadingKind::kBlock)),
+            channel::FadingKind::kBlock);
+}
+
+TEST(NetworkConfig, JakesOscillatorsValidated) {
+  NetworkConfig config;
+  config.apply_overrides(util::Config::from_args({"channel.jakes_oscillators=8"}));
+  EXPECT_EQ(config.channel.jakes_oscillators, 8u);
+  // Zero and negative (which wraps through size_t) must die in
+  // validate() with a message naming the key, not mid-sweep.
+  EXPECT_THROW(
+      config.apply_overrides(util::Config::from_args({"channel.jakes_oscillators=0"})),
+      std::invalid_argument);
+  EXPECT_THROW(
+      config.apply_overrides(util::Config::from_args({"channel.jakes_oscillators=-1"})),
+      std::invalid_argument);
+}
+
 TEST(Protocol, PolicyMapping) {
   EXPECT_EQ(threshold_policy_for(Protocol::kPureLeach), queueing::ThresholdPolicy::kNone);
   EXPECT_EQ(threshold_policy_for(Protocol::kCaemScheme1),

@@ -1,0 +1,169 @@
+// Tests for RunResult JSON (de)serialization: the exact round-trip that
+// backs the scenario result cache and the trace artifacts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/run_result_io.hpp"
+
+namespace caem::core {
+namespace {
+
+RunResult sample_result() {
+  RunResult result;
+  result.protocol = Protocol::kCaemScheme1;
+  result.seed = 2005;
+  result.sim_end_s = 599.99999999999995;  // not representable as a short decimal
+  result.executed_events = 123456789012345ull;
+  result.generated = 50000;
+  result.delivered_air = 48123;
+  result.delivered_self = 777;
+  result.dropped_overflow = 12;
+  result.dropped_retry = 3;
+  result.dropped_death = 0;
+  result.collisions = 42;
+  result.delivery_rate = 0.1;  // classic non-terminating binary fraction
+  result.mean_delay_s = 1.0 / 3.0;
+  result.p95_delay_s = 2.3e-7;
+  result.throughput_bps = 1.9e6;
+  result.total_consumed_j = 276.99123456789012;
+  result.energy_per_delivered_packet_j = 5.755e-3;
+  result.lifetime.first_death_s = -1.0;
+  result.lifetime.network_death_s = 432.10987654321;
+  result.lifetime.last_death_s = -1.0;
+  result.lifetime.deaths = 21;
+  result.final_alive = 79;
+  result.mean_queue_stddev = 9.951;
+  result.mac.wakeups = 101;
+  result.mac.checks = 202;
+  result.mac.csi_denied = 303;
+  result.mac.deadline_overrides = 404;
+  result.mac.busy_denied = 505;
+  result.mac.bursts_started = 606;
+  result.mac.bursts_completed = 607;
+  result.mac.frames_sent = 708;
+  result.mac.frames_failed = 9;
+  result.mac.collisions = 10;
+  result.mac.packets_dropped_retry = 11;
+  result.delivered_per_mode[0] = 1;
+  result.delivered_per_mode[1] = 2;
+  result.delivered_per_mode[2] = 3;
+  result.delivered_per_mode[3] = 4;
+  result.threshold_lower_events = 55;
+  result.threshold_raise_events = 66;
+  result.avg_remaining_energy.add(0.0, 10.0);
+  result.avg_remaining_energy.add(5.0, 9.8952915526095495);
+  result.avg_remaining_energy.add(600.0, 0.3);
+  result.nodes_alive.add(0.0, 100.0);
+  result.nodes_alive.add(432.1, 79.0);
+  return result;
+}
+
+TEST(RunResultIo, RoundTripsEveryFieldExactly) {
+  const RunResult original = sample_result();
+  const RunResult loaded = run_result_from_json(to_json(original));
+
+  EXPECT_EQ(loaded.protocol, original.protocol);
+  EXPECT_EQ(loaded.seed, original.seed);
+  // Doubles must round-trip BIT-FOR-BIT (%.17g), not approximately:
+  // the cache contract is that a loaded result renders byte-identical
+  // artifacts.
+  EXPECT_EQ(loaded.sim_end_s, original.sim_end_s);
+  EXPECT_EQ(loaded.executed_events, original.executed_events);
+  EXPECT_EQ(loaded.generated, original.generated);
+  EXPECT_EQ(loaded.delivered_air, original.delivered_air);
+  EXPECT_EQ(loaded.delivered_self, original.delivered_self);
+  EXPECT_EQ(loaded.dropped_overflow, original.dropped_overflow);
+  EXPECT_EQ(loaded.dropped_retry, original.dropped_retry);
+  EXPECT_EQ(loaded.dropped_death, original.dropped_death);
+  EXPECT_EQ(loaded.collisions, original.collisions);
+  EXPECT_EQ(loaded.delivery_rate, original.delivery_rate);
+  EXPECT_EQ(loaded.mean_delay_s, original.mean_delay_s);
+  EXPECT_EQ(loaded.p95_delay_s, original.p95_delay_s);
+  EXPECT_EQ(loaded.throughput_bps, original.throughput_bps);
+  EXPECT_EQ(loaded.total_consumed_j, original.total_consumed_j);
+  EXPECT_EQ(loaded.energy_per_delivered_packet_j, original.energy_per_delivered_packet_j);
+  EXPECT_EQ(loaded.lifetime.first_death_s, original.lifetime.first_death_s);
+  EXPECT_EQ(loaded.lifetime.network_death_s, original.lifetime.network_death_s);
+  EXPECT_EQ(loaded.lifetime.last_death_s, original.lifetime.last_death_s);
+  EXPECT_EQ(loaded.lifetime.deaths, original.lifetime.deaths);
+  EXPECT_EQ(loaded.final_alive, original.final_alive);
+  EXPECT_EQ(loaded.mean_queue_stddev, original.mean_queue_stddev);
+  EXPECT_EQ(loaded.mac.wakeups, original.mac.wakeups);
+  EXPECT_EQ(loaded.mac.checks, original.mac.checks);
+  EXPECT_EQ(loaded.mac.csi_denied, original.mac.csi_denied);
+  EXPECT_EQ(loaded.mac.deadline_overrides, original.mac.deadline_overrides);
+  EXPECT_EQ(loaded.mac.busy_denied, original.mac.busy_denied);
+  EXPECT_EQ(loaded.mac.bursts_started, original.mac.bursts_started);
+  EXPECT_EQ(loaded.mac.bursts_completed, original.mac.bursts_completed);
+  EXPECT_EQ(loaded.mac.frames_sent, original.mac.frames_sent);
+  EXPECT_EQ(loaded.mac.frames_failed, original.mac.frames_failed);
+  EXPECT_EQ(loaded.mac.collisions, original.mac.collisions);
+  EXPECT_EQ(loaded.mac.packets_dropped_retry, original.mac.packets_dropped_retry);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(loaded.delivered_per_mode[i], original.delivered_per_mode[i]);
+  }
+  EXPECT_EQ(loaded.threshold_lower_events, original.threshold_lower_events);
+  EXPECT_EQ(loaded.threshold_raise_events, original.threshold_raise_events);
+
+  ASSERT_EQ(loaded.avg_remaining_energy.size(), original.avg_remaining_energy.size());
+  for (std::size_t i = 0; i < original.avg_remaining_energy.size(); ++i) {
+    EXPECT_EQ(loaded.avg_remaining_energy.points()[i].time_s,
+              original.avg_remaining_energy.points()[i].time_s);
+    EXPECT_EQ(loaded.avg_remaining_energy.points()[i].value,
+              original.avg_remaining_energy.points()[i].value);
+  }
+  ASSERT_EQ(loaded.nodes_alive.size(), original.nodes_alive.size());
+  EXPECT_EQ(loaded.nodes_alive.points()[1].time_s, original.nodes_alive.points()[1].time_s);
+
+  // The serialized form itself is a fixed point: serialize(load(x)) == x.
+  EXPECT_EQ(to_json(loaded), to_json(original));
+}
+
+TEST(RunResultIo, EmptySeriesRoundTrip) {
+  RunResult result;  // default: empty traces
+  const RunResult loaded = run_result_from_json(to_json(result));
+  EXPECT_TRUE(loaded.avg_remaining_energy.empty());
+  EXPECT_TRUE(loaded.nodes_alive.empty());
+  EXPECT_EQ(loaded.protocol, Protocol::kPureLeach);
+}
+
+TEST(RunResultIo, RejectsGarbageMissingFieldsAndWrongVersion) {
+  EXPECT_THROW((void)run_result_from_json("not json"), std::invalid_argument);
+  EXPECT_THROW((void)run_result_from_json("{\"v\":1}"), std::invalid_argument);
+  EXPECT_THROW((void)run_result_from_json("{}"), std::invalid_argument);
+  // Truncated document (torn cache write).
+  const std::string full = to_json(sample_result());
+  EXPECT_THROW((void)run_result_from_json(full.substr(0, full.size() / 2)),
+               std::invalid_argument);
+  // Version bump must invalidate.
+  std::string bumped = full;
+  bumped.replace(bumped.find("{\"v\":1,"), 7, "{\"v\":2,");
+  EXPECT_THROW((void)run_result_from_json(bumped), std::invalid_argument);
+}
+
+TEST(RunResultIo, RejectsCorruptSeriesAndModeElements) {
+  // A bit-rotted series value ("1.2.3" tokenizes as one number token)
+  // must throw — corrupt cache entries read as misses, never as
+  // silently truncated data.
+  const std::string full = to_json(sample_result());
+  std::string corrupt = full;
+  const std::string needle = "9.8952915526095495";
+  corrupt.replace(corrupt.find(needle), needle.size(), "1.2.3");
+  EXPECT_THROW((void)run_result_from_json(corrupt), std::invalid_argument);
+
+  // Non-number element in a series array.
+  corrupt = full;
+  corrupt.replace(corrupt.find(needle), needle.size(), "\"x\"");
+  EXPECT_THROW((void)run_result_from_json(corrupt), std::invalid_argument);
+
+  // Corrupt delivered_per_mode element.
+  corrupt = full;
+  const std::string modes = "\"delivered_per_mode\":[1,2,3,4]";
+  corrupt.replace(corrupt.find(modes), modes.size(), "\"delivered_per_mode\":[1,2,3,4x]");
+  EXPECT_THROW((void)run_result_from_json(corrupt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caem::core

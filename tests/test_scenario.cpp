@@ -1,5 +1,6 @@
-// Tests for the scenario subsystem: axis parsing, grid expansion, spec
-// dispatch/rejection, and the flattened sweep engine.
+// Tests for the scenario subsystem: axis parsing (incl. joint axes),
+// grid expansion, spec dispatch/rejection, the flattened sweep engine,
+// the digest-keyed result cache and the trace artifact sink.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -7,6 +8,7 @@
 #include <sstream>
 
 #include "scenario/engine.hpp"
+#include "scenario/result_cache.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/sweep.hpp"
 
@@ -44,6 +46,25 @@ TEST(Axis, RejectsBadSpecs) {
   EXPECT_THROW((void)parse_axis("k", "range:a:b:c"), std::invalid_argument);
 }
 
+TEST(Axis, JointAxisParsesAndValidates) {
+  const Axis axis = parse_axis("burst_min,burst_max", "list:1/1, 3/8 ,8/16");
+  ASSERT_EQ(axis.values.size(), 3u);
+  EXPECT_EQ(axis.values[1], "3/8");
+  std::vector<std::pair<std::string, std::string>> assignments;
+  append_assignments(axis, axis.values[1], assignments);
+  ASSERT_EQ(assignments.size(), 2u);
+  EXPECT_EQ(assignments[0].first, "burst_min");
+  EXPECT_EQ(assignments[0].second, "3");
+  EXPECT_EQ(assignments[1].first, "burst_max");
+  EXPECT_EQ(assignments[1].second, "8");
+  // Component-count mismatch, empty component, range spec: all rejected.
+  EXPECT_THROW((void)parse_axis("a,b", "list:1/2/3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("a,b", "list:1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("a,b", "range:1:3:1"), std::invalid_argument);
+  EXPECT_EQ(axis_key_components("a, b").size(), 2u);
+  EXPECT_THROW((void)axis_key_components("a,,b"), std::invalid_argument);
+}
+
 // ------------------------------------------------------------------ grid
 
 TEST(Grid, CartesianCountAndDeterministicOrder) {
@@ -68,6 +89,31 @@ TEST(Grid, NoAxesIsSingleBaselinePoint) {
 
 TEST(Grid, EmptyAxisRejected) {
   EXPECT_THROW((void)grid_size({Axis{"a", {}}}), std::invalid_argument);
+}
+
+TEST(Grid, JointAxisExpandsToSplitAssignments) {
+  const std::vector<Axis> axes = {{"burst_min,burst_max", {"1/1", "3/8"}},
+                                  {"traffic_rate_pps", {"5", "10"}}};
+  EXPECT_EQ(grid_size(axes), 4u);  // joint axis counts once, not per key
+  const auto grid = expand_grid(axes);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(describe(grid[0]), "burst_min=1, burst_max=1, traffic_rate_pps=5");
+  EXPECT_EQ(describe(grid[3]), "burst_min=3, burst_max=8, traffic_rate_pps=10");
+  ASSERT_EQ(grid[2].assignments.size(), 3u);  // two joint components + one plain
+}
+
+TEST(Grid, JointAxisSweepsConfigKeysInLockstep) {
+  const ScenarioSpec spec = ScenarioSpec::from_config(util::Config::from_text(
+      "sweep.burst_min,burst_max = list:1/1,3/8,8/16\n"));
+  const auto grid = expand_grid(spec.axes);
+  ASSERT_EQ(grid.size(), 3u);
+  const core::NetworkConfig config = spec.config_at(grid[2]);
+  EXPECT_EQ(config.burst.min_packets, 8u);
+  EXPECT_EQ(config.burst.max_packets, 16u);
+  // An invalid pair must still die in NetworkConfig::validate.
+  EXPECT_THROW((void)ScenarioSpec::from_config(
+                   util::Config::from_text("sweep.burst_min,burst_max = list:8/1\n")),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------------------------ spec
@@ -207,6 +253,179 @@ TEST(Engine, FlattenedMatchesBarrierAndRunReplicated) {
   const core::Replicated& engine_cell = flat.points[1].protocols[1].replicated;
   EXPECT_DOUBLE_EQ(engine_cell.total_consumed_j.mean(), direct.total_consumed_j.mean());
   EXPECT_EQ(engine_cell.runs[0].generated, direct.runs[0].generated);
+}
+
+TEST(Engine, SummaryTableExposesFoldExclusionContract) {
+  const ScenarioResult result = run_scenario(tiny_spec());
+  const util::TableWriter table = summary_table(result);
+  std::ostringstream csv;
+  table.render_csv(csv);
+  const std::string header = csv.str().substr(0, csv.str().find('\n'));
+  // reps counts folded runs; n_delivering counts the subset that
+  // delivered over the air and therefore fed the delivery/delay means.
+  EXPECT_NE(header.find("reps"), std::string::npos);
+  EXPECT_NE(header.find("n_delivering"), std::string::npos);
+  for (const PointResult& point : result.points) {
+    for (const ProtocolResult& entry : point.protocols) {
+      EXPECT_LE(entry.replicated.delivery_rate.count(), entry.replicated.runs.size());
+    }
+  }
+}
+
+// ----------------------------------------------------------------- cache
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch dir per test (ctest runs tests concurrently).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("caem_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string summary_csv(const ScenarioResult& result) {
+  std::ostringstream out;
+  summary_table(result).render_csv(out);
+  return out.str();
+}
+
+TEST(Cache, RoundTripAndMissOnAbsentOrCorrupt) {
+  const fs::path dir = scratch_dir("cache_roundtrip");
+  const ResultCache cache(dir.string());
+  core::NetworkConfig config;
+  core::RunOptions options;
+  core::RunResult result;
+  result.protocol = core::Protocol::kCaemScheme2;
+  result.seed = 7;
+  result.total_consumed_j = 123.456;
+  result.avg_remaining_energy.add(0.0, 10.0);
+
+  const std::string path =
+      cache.entry_path(config, core::Protocol::kCaemScheme2, 7, options);
+  EXPECT_EQ(cache.load(path), std::nullopt);  // absent
+  cache.store(path, result);
+  const auto loaded = cache.load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->total_consumed_j, 123.456);
+  EXPECT_EQ(loaded->seed, 7u);
+
+  // The key pins protocol, seed and options: siblings stay misses.
+  EXPECT_EQ(cache.load(cache.entry_path(config, core::Protocol::kPureLeach, 7, options)),
+            std::nullopt);
+  EXPECT_EQ(cache.load(cache.entry_path(config, core::Protocol::kCaemScheme2, 8, options)),
+            std::nullopt);
+  core::RunOptions longer;
+  longer.max_sim_s = 999.0;
+  EXPECT_EQ(cache.load(cache.entry_path(config, core::Protocol::kCaemScheme2, 7, longer)),
+            std::nullopt);
+  // A different config digests to a different directory.
+  core::NetworkConfig edited = config;
+  edited.traffic_rate_pps = 9.0;
+  EXPECT_NE(cache.entry_path(edited, core::Protocol::kCaemScheme2, 7, options), path);
+
+  // Corruption reads as a miss, never as data.
+  std::ofstream(path, std::ios::trunc) << "{\"v\":1,\"torn";
+  EXPECT_EQ(cache.load(path), std::nullopt);
+  fs::remove_all(dir);
+}
+
+TEST(Cache, SecondRunIsPureHitsWithIdenticalResults) {
+  const fs::path dir = scratch_dir("cache_rerun");
+  ScenarioSpec spec = tiny_spec();
+  spec.cache_dir = dir.string();
+
+  const ScenarioResult cold = run_scenario(spec);
+  EXPECT_TRUE(cold.cache_enabled);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.executed_jobs, cold.total_jobs);
+
+  const ScenarioResult warm = run_scenario(spec);
+  EXPECT_EQ(warm.cache_hits, warm.total_jobs);
+  EXPECT_EQ(warm.executed_jobs, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  // The folded summary must be indistinguishable from the computed one.
+  EXPECT_EQ(summary_csv(warm), summary_csv(cold));
+  fs::remove_all(dir);
+}
+
+TEST(Cache, EditedAxisExecutesOnlyTheNewCells) {
+  const fs::path dir = scratch_dir("cache_edit");
+  ScenarioSpec spec = tiny_spec();
+  spec.cache_dir = dir.string();
+  (void)run_scenario(spec);  // warm: traffic 3, 6
+
+  // Editing one axis must cost exactly the new cells: the old points'
+  // configs digest identically, so their jobs never re-execute.
+  ScenarioSpec edited = spec;
+  edited.axes = {Axis{"traffic_rate_pps", {"3", "6", "9"}}};
+  const ScenarioResult result = run_scenario(edited);
+  const std::size_t new_cell_jobs = edited.protocols.size() * edited.replications;
+  EXPECT_EQ(result.total_jobs, 12u);
+  EXPECT_EQ(result.executed_jobs, new_cell_jobs);            // only traffic=9
+  EXPECT_EQ(result.cache_hits, result.total_jobs - new_cell_jobs);
+
+  // And the third run is free entirely.
+  const ScenarioResult warm = run_scenario(edited);
+  EXPECT_EQ(warm.executed_jobs, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(Cache, NoCacheFlagAndBarrierModeContracts) {
+  ScenarioSpec spec = tiny_spec();
+  spec.cache_dir = (fs::temp_directory_path() / "caem_test_never_created").string();
+  spec.use_cache = false;  // --no-cache: neither read nor write
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_FALSE(result.cache_enabled);
+  EXPECT_EQ(result.executed_jobs, result.total_jobs);
+  EXPECT_FALSE(fs::exists(spec.cache_dir));
+
+  spec.use_cache = true;
+  spec.flatten = false;
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(Trace, ArtifactsRoundTripByteForByteThroughTheCache) {
+  const fs::path cache_dir = scratch_dir("trace_cache");
+  const fs::path trace_cold = scratch_dir("trace_cold");
+  const fs::path trace_warm = scratch_dir("trace_warm");
+
+  ScenarioSpec spec = tiny_spec();
+  spec.cache_dir = cache_dir.string();
+  spec.trace_dir = trace_cold.string();
+  spec.trace_points = 9;
+  std::ostringstream log;
+  write_outputs(run_scenario(spec), spec, log);  // computes + stores
+
+  spec.trace_dir = trace_warm.string();
+  const ScenarioResult warm = run_scenario(spec);  // pure cache hits
+  EXPECT_EQ(warm.executed_jobs, 0u);
+  write_outputs(warm, spec, log);
+
+  // 2 points x 2 protocols = 4 trace files, identical bytes both ways:
+  // RunResult serialization preserves the traces exactly.
+  std::size_t compared = 0;
+  for (const auto& entry : fs::directory_iterator(trace_cold)) {
+    const fs::path warm_file = trace_warm / entry.path().filename();
+    ASSERT_TRUE(fs::exists(warm_file)) << warm_file;
+    std::ifstream a(entry.path(), std::ios::binary);
+    std::ifstream b(warm_file, std::ios::binary);
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str()) << entry.path();
+    // Header comment + column header + trace_points rows.
+    std::size_t lines = 0;
+    for (const char c : sa.str()) lines += c == '\n';
+    EXPECT_EQ(lines, 2u + spec.trace_points);
+    ++compared;
+  }
+  EXPECT_EQ(compared, 4u);
+  fs::remove_all(cache_dir);
+  fs::remove_all(trace_cold);
+  fs::remove_all(trace_warm);
 }
 
 TEST(Engine, SummaryTableShapeAndOutputs) {
