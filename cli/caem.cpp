@@ -1,6 +1,7 @@
 // caem — unified scenario runner for the CAEM reproduction harness.
 //
 //   caem run <scenario.scn> [flags] [key=value ...]     run a sweep
+//   caem merge <scenario.scn> [flags] [key=value ...]   complete + fold a sharded sweep
 //   caem expand <scenario.scn> [key=value ...]          print the grid, run nothing
 //   caem help                                           usage
 //
@@ -9,10 +10,20 @@
 //       cells already computed for the same (config digest, protocol,
 //       seed, horizon) load instead of executing
 //   --no-cache                              ignore the cache entirely
+//   --shard=i/N          (run) distributed worker: execute only the
+//       cache-miss cells whose job index ≡ i-1 (mod N), store them into
+//       the shared cache dir, publish a completion marker, render
+//       nothing (the merge step folds)
+//   --require-complete   (run) same as `caem merge`: census shard
+//       markers, re-run crashed shards' unfinished cells, fold from
+//       pure cache hits
 //
 // Overrides use the scenario-file namespace (scenario.*, sweep.*,
 // output.*, or any NetworkConfig key).  Unknown keys are fatal: a typo
-// must never silently run the wrong experiment.
+// must never silently run the wrong experiment.  Every process of a
+// sharded launch (and the merge) must receive the SAME overrides —
+// config-affecting overrides change the sweep digest, and mismatched
+// shards would simply work on different sweeps.
 #include <exception>
 #include <iostream>
 #include <string>
@@ -20,6 +31,7 @@
 
 #include "scenario/engine.hpp"
 #include "scenario/scenario_spec.hpp"
+#include "scenario/shard_manifest.hpp"
 #include "util/table_writer.hpp"
 
 namespace {
@@ -27,18 +39,31 @@ namespace {
 int usage(std::ostream& out, int exit_code) {
   out << "usage:\n"
          "  caem run <scenario.scn> [flags] [key=value ...]  run the sweep\n"
+         "  caem merge <scenario.scn> [flags] [key=value ...]\n"
+         "                      complete a sharded sweep: census shard markers, re-run\n"
+         "                      crashed shards' unfinished cells, fold from pure cache hits\n"
          "  caem expand <scenario.scn> [key=value ...]       show grid points without running\n"
          "  caem help\n"
          "\n"
-         "flags (run only):\n"
+         "flags (run/merge):\n"
          "  --cache-dir=<dir>   reuse cached results keyed by (config digest, protocol,\n"
          "                      seed); only cells absent from the cache execute\n"
-         "  --no-cache          neither read nor write the cache\n"
+         "  --no-cache          neither read nor write the cache (run only)\n"
+         "  --shard=i/N         run only: distributed worker i of N against the shared\n"
+         "                      cache dir; executes its index-stride slice of the misses,\n"
+         "                      publishes <cache>/sweeps/<digest>/shard_i_of_N.done,\n"
+         "                      defers folding/artifacts to `caem merge`\n"
+         "  --require-complete  run only: equivalent to `caem merge`\n"
          "\n"
          "overrides share the scenario-file namespace, e.g.\n"
          "  caem run examples/scenarios/fig10_lifetime_vs_load.scn scenario.reps=4 \\\n"
          "      sweep.traffic_rate_pps=list:5,15 output.csv=out.csv output.trace=traces \\\n"
-         "      node_count=50\n";
+         "      node_count=50\n"
+         "\n"
+         "a sharded launch runs the same scenario + overrides on every worker, e.g.\n"
+         "  for i in 1 2 3; do caem run sweep.scn --shard=$i/3 --cache-dir=cache & done\n"
+         "  wait; caem merge sweep.scn --cache-dir=cache\n"
+         "(scripts/shard_sweep.sh wraps exactly this)\n";
   return exit_code;
 }
 
@@ -58,6 +83,8 @@ caem::scenario::ScenarioSpec load_spec(const std::vector<std::string>& tokens,
 struct CliArgs {
   std::string cache_dir;
   bool no_cache = false;
+  std::string shard;  ///< raw --shard=i/N value ("" = unsharded)
+  bool require_complete = false;
   std::vector<std::string> overrides;
 };
 
@@ -72,6 +99,13 @@ CliArgs parse_cli(int argc, char** argv, int first) {
       args.cache_dir = argv[++i];
     } else if (token.rfind("--cache-dir=", 0) == 0) {
       args.cache_dir = token.substr(12);
+    } else if (token == "--shard") {
+      if (i + 1 >= argc) throw std::invalid_argument("--shard needs an i/N argument");
+      args.shard = argv[++i];
+    } else if (token.rfind("--shard=", 0) == 0) {
+      args.shard = token.substr(8);
+    } else if (token == "--require-complete") {
+      args.require_complete = true;
     } else if (token.rfind("--", 0) == 0) {
       throw std::invalid_argument("unknown flag '" + token + "'");
     } else {
@@ -91,16 +125,65 @@ void print_banner(const caem::scenario::ScenarioSpec& spec, std::ostream& out) {
     out << "cache: " << spec.cache_dir << (spec.use_cache ? "" : " (disabled by --no-cache)")
         << "\n";
   }
+  if (spec.shard_count >= 1) {
+    out << "shard: " << spec.shard_index << "/" << spec.shard_count << " (job indices "
+        << (spec.shard_index - 1) << ", " << (spec.shard_index - 1 + spec.shard_count)
+        << ", ... of the flattened queue)\n";
+  }
+  if (spec.merge_shards) {
+    out << "merge: completing the sweep from shard markers + cache\n";
+  }
 }
 
-int run_command(int argc, char** argv) {
+int run_command(int argc, char** argv, bool merge) {
   const CliArgs cli = parse_cli(argc, argv, 3);
   caem::scenario::ScenarioSpec spec = load_spec(cli.overrides, argv[2]);
   if (!cli.cache_dir.empty()) spec.cache_dir = cli.cache_dir;
   if (cli.no_cache) spec.use_cache = false;
+  if (merge && (!cli.shard.empty() || cli.require_complete)) {
+    throw std::invalid_argument(
+        "'caem merge' already completes the sweep; --shard/--require-complete do not apply");
+  }
+  if (!cli.shard.empty() && cli.require_complete) {
+    throw std::invalid_argument(
+        "--shard and --require-complete are mutually exclusive (a shard runs one slice; "
+        "--require-complete merges the whole sweep)");
+  }
+  if (!cli.shard.empty()) {
+    const caem::scenario::ShardRef ref = caem::scenario::parse_shard(cli.shard);
+    spec.shard_index = ref.index;
+    spec.shard_count = ref.count;
+  }
+  if (merge || cli.require_complete) spec.merge_shards = true;
   print_banner(spec, std::cout);
   std::cout << "\n";
   const caem::scenario::ScenarioResult result = caem::scenario::run_scenario(spec);
+  if (result.shard_count >= 1) {
+    // Partial run: the fold and the artifacts belong to the merge step.
+    std::cout << "shard " << result.shard_index << "/" << result.shard_count << ": "
+              << result.shard_jobs << " job(s) claimed, " << result.cache_hits
+              << " already cached, " << result.executed_jobs << " executed\n"
+              << "marker: " << result.marker_path << "\n"
+              << "artifacts deferred: fold with `caem merge " << argv[2]
+              << " --cache-dir=" << spec.cache_dir << "` once all shards are done\n";
+    std::cout << "wall clock: " << caem::util::format_fixed(result.wall_s, 2) << " s for "
+              << result.executed_jobs << " executed job(s)\n";
+    return 0;
+  }
+  if (result.merged) {
+    if (result.shards_expected == 0) {
+      std::cout << "merge: no shard markers for this sweep; completing from the cache alone\n";
+    } else {
+      std::cout << "merge: " << result.shards_done << "/" << result.shards_expected
+                << " shard marker(s) present";
+      if (!result.shards_missing.empty()) {
+        std::cout << "; missing:";
+        for (const std::size_t id : result.shards_missing) std::cout << " " << id;
+        std::cout << " (claimed " << result.executed_jobs << " unfinished cell(s))";
+      }
+      std::cout << "\n";
+    }
+  }
   caem::scenario::summary_table(result).render(std::cout);
   std::cout << "\n";
   caem::scenario::write_outputs(result, spec, std::cout);
@@ -116,11 +199,12 @@ int run_command(int argc, char** argv) {
 
 int expand_command(int argc, char** argv) {
   const CliArgs cli = parse_cli(argc, argv, 3);
-  if (!cli.cache_dir.empty() || cli.no_cache) {
-    // Expand runs nothing, so accepting cache flags would silently do
-    // nothing — same contract as unknown keys: fail loudly.
+  if (!cli.cache_dir.empty() || cli.no_cache || !cli.shard.empty() || cli.require_complete) {
+    // Expand runs nothing, so accepting run-only flags would silently
+    // do nothing — same contract as unknown keys: fail loudly.
     throw std::invalid_argument(
-        "--cache-dir/--no-cache only apply to 'caem run' (expand executes no jobs)");
+        "--cache-dir/--no-cache/--shard/--require-complete only apply to 'caem run' or "
+        "'caem merge' (expand executes no jobs)");
   }
   const caem::scenario::ScenarioSpec spec = load_spec(cli.overrides, argv[2]);
   print_banner(spec, std::cout);
@@ -138,13 +222,16 @@ int main(int argc, char** argv) {
   if (command == "help" || command == "--help" || command == "-h") {
     return usage(std::cout, 0);
   }
-  if (command != "run" && command != "expand") return usage(std::cerr, 2);
+  if (command != "run" && command != "merge" && command != "expand") {
+    return usage(std::cerr, 2);
+  }
   if (argc < 3) {
     std::cerr << "caem " << command << ": missing scenario file\n";
     return usage(std::cerr, 2);
   }
   try {
-    return command == "run" ? run_command(argc, argv) : expand_command(argc, argv);
+    if (command == "expand") return expand_command(argc, argv);
+    return run_command(argc, argv, command == "merge");
   } catch (const std::exception& error) {
     std::cerr << "caem " << command << ": " << error.what() << "\n";
     return 1;

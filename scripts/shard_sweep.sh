@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# shard_sweep.sh — launch a local N-way sharded sweep against one shared
+# cache directory, wait for the workers, then merge and render artifacts.
+#
+#   scripts/shard_sweep.sh <caem-binary> <scenario.scn> <N> <cache-dir> [key=value ...]
+#
+# Every worker (and the merge) receives the same scenario file and the
+# same overrides — config-affecting overrides change the sweep digest,
+# and mismatched shards would simply work on different sweeps.  A worker
+# that crashes is harmless: the merge censuses the completion markers,
+# re-runs only the crashed shard's unfinished cells, and folds the full
+# sweep from pure cache hits.  For multi-host launches run the same
+# `caem run --shard=i/N --cache-dir=<shared dir>` command per host
+# against a shared filesystem and `caem merge` from any of them.
+set -eu
+
+if [ "$#" -lt 4 ]; then
+  echo "usage: $0 <caem-binary> <scenario.scn> <N> <cache-dir> [key=value ...]" >&2
+  exit 2
+fi
+
+CAEM=$1
+SCN=$2
+N=$3
+CACHE=$4
+shift 4
+
+case "$N" in
+  ''|*[!0-9]*|0) echo "$0: N must be a positive integer, got '$N'" >&2; exit 2 ;;
+esac
+
+pids=""
+i=1
+while [ "$i" -le "$N" ]; do
+  "$CAEM" run "$SCN" --shard="$i/$N" --cache-dir="$CACHE" "$@" &
+  pids="$pids $!"
+  i=$((i + 1))
+done
+
+failed=0
+for pid in $pids; do
+  wait "$pid" || failed=1
+done
+if [ "$failed" -ne 0 ]; then
+  echo "$0: one or more shards failed; merge will re-run their unfinished cells" >&2
+fi
+
+exec "$CAEM" merge "$SCN" --cache-dir="$CACHE" "$@"

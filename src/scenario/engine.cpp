@@ -8,9 +8,17 @@
 #include <stdexcept>
 
 #include "scenario/result_cache.hpp"
+#include "scenario/shard_manifest.hpp"
 #include "util/time_series.hpp"
 
 namespace caem::scenario {
+
+JobCoords job_coords(const ScenarioSpec& spec, std::size_t index) {
+  const std::size_t reps = spec.replications;
+  const std::size_t protocol_count = spec.protocols.size();
+  return JobCoords{index / (reps * protocol_count), (index / reps) % protocol_count,
+                   index % reps};
+}
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const auto started = std::chrono::steady_clock::now();
@@ -35,21 +43,39 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
   result.total_jobs = grid.size() * protocol_count * reps;
   result.cache_enabled = !spec.cache_dir.empty() && spec.use_cache;
+  result.shard_index = spec.shard_index;
+  result.shard_count = spec.shard_count;
+  result.merged = spec.merge_shards;
   if (result.cache_enabled && !spec.flatten) {
     throw std::invalid_argument(
         "scenario.flatten=0 is incompatible with the result cache (cache lookups partition the "
         "flattened queue; drop scenario.cache_dir or re-enable flattening)");
+  }
+  const bool sharded = spec.shard_count >= 1;
+  if (sharded || spec.merge_shards) {
+    if (sharded && spec.merge_shards) {
+      throw std::invalid_argument(
+          "a shard run cannot also merge: --shard and merge/--require-complete are mutually "
+          "exclusive");
+    }
+    if (!result.cache_enabled) {
+      throw std::invalid_argument(
+          "sharded execution requires the result cache — the shared cache directory is the "
+          "coordination substrate shards merge through (set --cache-dir/scenario.cache_dir and "
+          "drop --no-cache)");
+    }
+  }
+  if (sharded && (spec.shard_index < 1 || spec.shard_index > spec.shard_count)) {
+    throw std::invalid_argument("shard index out of range: --shard=i/N needs 1 <= i <= N");
   }
 
   // Job order is (point, protocol, rep) row-major so fold-back is an
   // index computation, and each job's seed depends only on its rep
   // index — results are independent of thread scheduling.
   const auto run_job = [&](std::size_t i) {
-    const std::size_t rep = i % reps;
-    const std::size_t protocol_index = (i / reps) % protocol_count;
-    const std::size_t point_index = i / (reps * protocol_count);
-    return core::SimulationRunner::run(configs[point_index], spec.protocols[protocol_index],
-                                       spec.base_seed + rep, spec.options);
+    const JobCoords c = job_coords(spec, i);
+    return core::SimulationRunner::run(configs[c.point], spec.protocols[c.protocol],
+                                       spec.base_seed + c.rep, spec.options);
   };
 
   std::vector<core::RunResult> runs;
@@ -57,15 +83,67 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     // Cache-partitioned flattened queue: hits fill their slot without
     // ever being enqueued; only the misses run, then get stored.
     const ResultCache cache(spec.cache_dir);
-    runs.resize(result.total_jobs);
+    std::vector<std::string> keys(result.total_jobs);
     std::vector<std::string> paths(result.total_jobs);
-    std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < result.total_jobs; ++i) {
-      const std::size_t rep = i % reps;
-      const std::size_t protocol_index = (i / reps) % protocol_count;
-      const std::size_t point_index = i / (reps * protocol_count);
-      paths[i] = cache.entry_path(configs[point_index], spec.protocols[protocol_index],
-                                  spec.base_seed + rep, spec.options);
+      const JobCoords c = job_coords(spec, i);
+      keys[i] = cache.entry_key(configs[c.point], spec.protocols[c.protocol],
+                                spec.base_seed + c.rep, spec.options);
+      paths[i] = (std::filesystem::path(spec.cache_dir) / keys[i]).string();
+    }
+    result.sweep_digest = sweep_digest(keys);
+    const ShardManifest manifest(spec.cache_dir, result.sweep_digest);
+    std::vector<std::size_t> pending;
+
+    // Shared by the shard and unsharded/merge paths so store/retry
+    // semantics can never diverge between them; `sink` is null on a
+    // shard run, which stores cells but never folds them.
+    const auto execute_and_store = [&](std::vector<core::RunResult>* sink) {
+      std::vector<core::RunResult> executed = core::parallel_runs(
+          pending.size(), [&](std::size_t j) { return run_job(pending[j]); }, spec.threads);
+      for (std::size_t j = 0; j < pending.size(); ++j) {
+        cache.store(paths[pending[j]], executed[j]);
+        if (sink != nullptr) (*sink)[pending[j]] = std::move(executed[j]);
+      }
+    };
+
+    if (sharded) {
+      // One worker of a distributed launch.  Scan only this shard's
+      // slice: claims are keyed by job-index residue (i ≡ shard-1 mod
+      // N), so the partition is identical however the N processes
+      // interleave — another shard's stores land in other residue
+      // classes and can never shift this slice (shard_manifest.hpp).
+      for (std::size_t i = spec.shard_index - 1; i < result.total_jobs;
+           i += spec.shard_count) {
+        ++result.shard_jobs;
+        if (cache.load(paths[i]).has_value()) {
+          ++result.cache_hits;
+        } else {
+          pending.push_back(i);
+        }
+      }
+      execute_and_store(nullptr);
+      // Publish the completion marker only now: every claimed cell is
+      // durably stored first, so a marker can never lie about coverage.
+      ShardMarker marker;
+      marker.shard = spec.shard_index;
+      marker.of = spec.shard_count;
+      marker.total_jobs = result.total_jobs;
+      marker.cache_hits = result.cache_hits;
+      marker.stored = pending;
+      manifest.write_done(marker);
+      result.marker_path = manifest.marker_path(spec.shard_index, spec.shard_count);
+      result.executed_jobs = pending.size();
+      result.cache_misses = pending.size();
+      // No fold: this process holds a partial result set.  `caem merge`
+      // folds the full sweep from pure cache hits.
+      result.wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+      return result;
+    }
+
+    runs.resize(result.total_jobs);
+    for (std::size_t i = 0; i < result.total_jobs; ++i) {
       if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
         runs[i] = std::move(*hit);
         ++result.cache_hits;
@@ -73,13 +151,54 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         pending.push_back(i);
       }
     }
-    std::vector<core::RunResult> executed = core::parallel_runs(
-        pending.size(), [&](std::size_t j) { return run_job(pending[j]); }, spec.threads);
-    for (std::size_t j = 0; j < pending.size(); ++j) {
-      cache.store(paths[pending[j]], executed[j]);
-      runs[pending[j]] = std::move(executed[j]);
+    if (spec.merge_shards) {
+      // Census the completion markers: shards without a `.done` marker
+      // crashed (or never ran).  The cells they left unfinished are
+      // exactly the remaining cache misses, which this process now
+      // claims and executes below.  When markers for several shard
+      // counts coexist (an aborted launch re-started with a different
+      // N), trust the N with the most markers — the majority launch —
+      // breaking ties toward the larger N; the stale markers only ever
+      // affect this report, never the fold (misses are ground truth).
+      const std::vector<ShardMarker> markers = manifest.collect();
+      std::size_t best_count = 0;
+      for (const ShardMarker& marker : markers) {
+        std::size_t count = 0;
+        for (const ShardMarker& other : markers) count += other.of == marker.of;
+        if (count > best_count ||
+            (count == best_count && marker.of > result.shards_expected)) {
+          best_count = count;
+          result.shards_expected = marker.of;
+        }
+      }
+      for (std::size_t id = 1; id <= result.shards_expected; ++id) {
+        const bool done =
+            std::any_of(markers.begin(), markers.end(), [&](const ShardMarker& m) {
+              return m.of == result.shards_expected && m.shard == id;
+            });
+        if (done) {
+          ++result.shards_done;
+        } else {
+          result.shards_missing.push_back(id);
+        }
+      }
     }
+    execute_and_store(&runs);
     result.executed_jobs = pending.size();
+    if (spec.merge_shards) {
+      // Claim the crashed shards' markers so a later merge (or
+      // --require-complete) sees a complete census: their unfinished
+      // cells are now durably stored by this process.
+      for (const std::size_t id : result.shards_missing) {
+        ShardMarker claim;
+        claim.shard = id;
+        claim.of = result.shards_expected;
+        claim.total_jobs = result.total_jobs;
+        claim.claimed_by_merge = true;
+        claim.stored = shard_slice(pending, id, result.shards_expected);
+        manifest.write_done(claim);
+      }
+    }
   } else if (spec.flatten) {
     // One queue over the whole cross product — the irregular-wavefront
     // idiom: keep every worker busy as long as ANY job remains.
@@ -98,7 +217,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     }
     result.executed_jobs = result.total_jobs;
   }
-  result.cache_misses = result.total_jobs - result.cache_hits;
+  result.cache_misses = result.executed_jobs;
 
   // Fold back per (point, protocol) in expansion order.
   result.points.reserve(grid.size());

@@ -46,11 +46,41 @@ struct ScenarioResult {
   std::vector<PointResult> points;     ///< grid expansion order
   std::size_t total_jobs = 0;
   bool cache_enabled = false;
-  std::size_t cache_hits = 0;      ///< jobs satisfied from the result cache
-  std::size_t cache_misses = 0;    ///< total_jobs - cache_hits
-  std::size_t executed_jobs = 0;   ///< jobs actually simulated (== misses)
+  /// Stats contract (coherent across all modes): cache_hits counts the
+  /// cells this process looked up and found, executed_jobs the cells it
+  /// simulated, and cache_misses == executed_jobs.  Unsharded/merge
+  /// runs scan the whole sweep, so cache_hits + executed_jobs ==
+  /// total_jobs; a shard run scans only its slice, so cache_hits +
+  /// executed_jobs == shard_jobs.  Summing executed_jobs over all
+  /// shards (plus the merge's) reconstructs the sweep's miss count.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t executed_jobs = 0;
   double wall_s = 0.0;  ///< end-to-end engine time (expansion + runs + fold)
+
+  // -- sharding / merge (see scenario/shard_manifest.hpp) --
+  std::size_t shard_index = 0;  ///< this process's 1-based shard id (0 = unsharded)
+  std::size_t shard_count = 0;  ///< >= 1 = partial shard run: points stays empty
+  std::size_t shard_jobs = 0;   ///< jobs in this shard's slice (hits + executed)
+  std::string sweep_digest;     ///< job-list digest (set whenever the cache is on)
+  std::string marker_path;      ///< completion marker a shard run published
+  bool merged = false;          ///< merge mode: census + completion + full fold
+  std::size_t shards_expected = 0;          ///< merge: N inferred from markers (0 = none found)
+  std::size_t shards_done = 0;              ///< merge: markers present for that N
+  std::vector<std::size_t> shards_missing;  ///< merge: 1-based ids without a marker
 };
+
+/// Decomposed flattened job index: job i is replication `rep` of
+/// `protocols[protocol]` at grid point `point` (rep varies fastest,
+/// point slowest), simulated at seed base_seed + rep.
+struct JobCoords {
+  std::size_t point = 0;
+  std::size_t protocol = 0;
+  std::size_t rep = 0;
+};
+
+/// The (point, protocol, rep) coordinates of flattened job `index`.
+[[nodiscard]] JobCoords job_coords(const ScenarioSpec& spec, std::size_t index);
 
 /// Run the scenario.  spec.flatten=false falls back to the legacy
 /// per-point run_replicated barriers (kept for A/B perf measurement and
@@ -62,6 +92,18 @@ struct ScenarioResult {
 /// afterwards, so re-running a sweep after editing one axis only
 /// executes the new cells.  Caching requires the flattened queue
 /// (throws std::invalid_argument with scenario.flatten=0).
+///
+/// With spec.shard_count >= 1, this process is one worker of a
+/// distributed launch: it scans only its index-stride slice of the
+/// queue, executes that slice's misses, stores them, publishes a
+/// completion marker and returns WITHOUT folding (points stays empty —
+/// the partial result set is meaningless to fold).  With
+/// spec.merge_shards, it censuses the markers, executes whatever cells
+/// the cache still misses (crashed shards' unfinished work), writes
+/// claim markers for the missing shards, then folds the whole sweep
+/// from pure cache hits — rendering byte-identically to a
+/// single-process run.  Both modes require the cache and throw
+/// std::invalid_argument without it (or when combined with each other).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
 
 /// Summary table: one row per (point, protocol) with the axis columns

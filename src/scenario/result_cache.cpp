@@ -1,14 +1,12 @@
 #include "scenario/result_cache.hpp"
 
-#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
-#include <unistd.h>
-
 #include "core/run_result_io.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table_writer.hpp"
 
 namespace caem::scenario {
@@ -19,13 +17,18 @@ ResultCache::ResultCache(std::string root) : root_(std::move(root)) {
   if (root_.empty()) throw std::invalid_argument("ResultCache: empty cache directory");
 }
 
+std::string ResultCache::entry_key(const core::NetworkConfig& config, core::Protocol protocol,
+                                   std::uint64_t seed, const core::RunOptions& options) const {
+  const fs::path key = fs::path(config.digest()) /
+                       (std::string(core::to_string(protocol)) + "_s" + std::to_string(seed) +
+                        "_h" + util::format_full(options.max_sim_s) + "_d" +
+                        (options.run_to_death ? "1" : "0") + ".json");
+  return key.string();
+}
+
 std::string ResultCache::entry_path(const core::NetworkConfig& config, core::Protocol protocol,
                                     std::uint64_t seed, const core::RunOptions& options) const {
-  const fs::path path = fs::path(root_) / config.digest() /
-                        (std::string(core::to_string(protocol)) + "_s" + std::to_string(seed) +
-                         "_h" + util::format_full(options.max_sim_s) + "_d" +
-                         (options.run_to_death ? "1" : "0") + ".json");
-  return path.string();
+  return (fs::path(root_) / entry_key(config, protocol, seed, options)).string();
 }
 
 std::optional<core::RunResult> ResultCache::load(const std::string& path) const {
@@ -41,34 +44,15 @@ std::optional<core::RunResult> ResultCache::load(const std::string& path) const 
 }
 
 void ResultCache::store(const std::string& path, const core::RunResult& result) const {
-  const fs::path target(path);
-  std::error_code error;
-  fs::create_directories(target.parent_path(), error);
-  if (error) {
-    throw std::runtime_error("result cache: cannot create '" + target.parent_path().string() +
-                             "': " + error.message());
-  }
-  // Write-then-rename so a crash mid-write leaves no half-entry under
-  // the final name (a torn entry would read as a miss anyway, but the
-  // rename keeps concurrent sweeps sharing a cache dir clean).  The
-  // temp name is unique per (process, store call): two sweeps missing
-  // the same cell must never interleave writes into one temp file —
-  // whoever renames last wins, and both wrote identical bytes anyway
-  // (runs are deterministic functions of the key).
-  static std::atomic<unsigned long> store_counter{0};
-  const fs::path temp = target.string() + ".tmp." + std::to_string(::getpid()) + "." +
-                        std::to_string(store_counter.fetch_add(1));
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("result cache: cannot write '" + temp.string() + "'");
-    out << core::to_json(result) << '\n';
-    if (!out) throw std::runtime_error("result cache: short write to '" + temp.string() + "'");
-  }
-  fs::rename(temp, target, error);
-  if (error) {
-    throw std::runtime_error("result cache: cannot finalise '" + target.string() +
-                             "': " + error.message());
-  }
+  // Publish-by-rename (util::atomic_write_file) so a crash mid-write
+  // leaves no half-entry under the final name, and two writers racing
+  // on the same cell — two sweeps, or two shards — leave one valid
+  // entry: whoever renames last wins, and both wrote identical bytes
+  // anyway (runs are deterministic functions of the key).  Readers
+  // racing the rename see either the old complete entry or the new
+  // complete entry, never a torn one — the contract the distributed
+  // shard protocol leans on (shard_manifest.hpp).
+  util::atomic_write_file(path, core::to_json(result) + '\n', "result cache");
 }
 
 }  // namespace caem::scenario

@@ -63,6 +63,24 @@ struct ScenarioSpec {
   /// neither read nor write it.
   bool use_cache = true;
 
+  /// `caem run --shard=i/N` (CLI-only; deliberately NOT a file key —
+  /// every process of a sharded launch runs the same scenario file and
+  /// differs only in this flag): execute only the cache-miss cells
+  /// whose flattened job index is congruent to shard_index-1 mod
+  /// shard_count, store them into the shared cache dir, and publish a
+  /// completion marker instead of folding/rendering.  Requires the
+  /// result cache.  See scenario/shard_manifest.hpp.
+  std::size_t shard_index = 0;  ///< 1-based when sharded
+  std::size_t shard_count = 0;  ///< 0 = unsharded; >= 1 = shard run (an
+                                ///< explicit --shard=1/1 still publishes
+                                ///< its marker for the merge census)
+  /// `caem merge` / `caem run --require-complete` (CLI-only): census
+  /// the sweep's shard completion markers, execute any cell the cache
+  /// still misses (claiming crashed shards' unfinished cells), write
+  /// claim markers on their behalf, then fold and render exactly like
+  /// a single-process run.
+  bool merge_shards = false;
+
   /// Load a scenario file.  Throws std::invalid_argument on syntax
   /// errors, unknown keys, bad axis specs or inconsistent config values.
   static ScenarioSpec from_file(const std::string& path);

@@ -1,0 +1,184 @@
+#include "scenario/shard_manifest.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+#include "util/config.hpp"
+#include "util/digest.hpp"
+
+namespace caem::scenario {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::size_t parse_size(const std::string& what, const std::string& text) {
+  // stoull silently accepts a leading '-' (it wraps), so gate on the
+  // first character being a digit before delegating.
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    throw std::invalid_argument(what + ": not a non-negative integer: '" + text + "'");
+  }
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument("trailing chars");
+    return static_cast<std::size_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(what + ": not a non-negative integer: '" + text + "'");
+  }
+}
+
+std::string join_indices(const std::vector<std::size_t>& indices) {
+  std::string out;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(indices[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> parse_indices(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::string::size_type start = 0;
+  for (;;) {
+    const auto pos = csv.find(',', start);
+    const std::string token = util::trim(
+        pos == std::string::npos ? csv.substr(start) : csv.substr(start, pos - start));
+    if (!token.empty()) out.push_back(parse_size("marker job index", token));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+/// shard_<i>_of_<N>.done -> (i, N); false on any other name.
+bool parse_marker_name(const std::string& name, std::size_t& shard, std::size_t& of) {
+  constexpr const char* kPrefix = "shard_";
+  constexpr const char* kSuffix = ".done";
+  constexpr std::size_t kPrefixLen = 6;
+  constexpr std::size_t kSuffixLen = 5;
+  if (name.size() <= kPrefixLen + kSuffixLen) return false;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  if (name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) return false;
+  const std::string middle = name.substr(kPrefixLen, name.size() - kPrefixLen - kSuffixLen);
+  const auto pos = middle.find("_of_");
+  if (pos == std::string::npos) return false;
+  try {
+    shard = parse_size("marker filename", middle.substr(0, pos));
+    of = parse_size("marker filename", middle.substr(pos + 4));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return shard >= 1 && of >= 1 && shard <= of;
+}
+
+}  // namespace
+
+ShardRef parse_shard(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("--shard expects i/N (e.g. --shard=2/3), got '" + text + "'");
+  }
+  ShardRef ref;
+  ref.index = parse_size("--shard index", text.substr(0, slash));
+  ref.count = parse_size("--shard count", text.substr(slash + 1));
+  if (ref.count == 0 || ref.index == 0 || ref.index > ref.count) {
+    throw std::invalid_argument("--shard=i/N needs 1 <= i <= N, got '" + text + "'");
+  }
+  return ref;
+}
+
+std::vector<std::size_t> shard_slice(const std::vector<std::size_t>& jobs, std::size_t index,
+                                     std::size_t count) {
+  if (count == 0 || index == 0 || index > count) {
+    throw std::invalid_argument("shard_slice: shard index must be in [1, count]");
+  }
+  std::vector<std::size_t> out;
+  for (const std::size_t job : jobs) {
+    if (job % count == index - 1) out.push_back(job);
+  }
+  return out;
+}
+
+std::string sweep_digest(const std::vector<std::string>& job_keys) {
+  std::ostringstream canon;
+  canon << "caem-sweep-v1\n" << job_keys.size() << '\n';
+  for (const std::string& key : job_keys) canon << key << '\n';
+  return util::content_digest(canon.str());
+}
+
+ShardManifest::ShardManifest(const std::string& cache_root, const std::string& sweep)
+    : sweep_(sweep), dir_((fs::path(cache_root) / "sweeps" / sweep).string()) {
+  if (cache_root.empty()) throw std::invalid_argument("ShardManifest: empty cache directory");
+  if (sweep.empty()) throw std::invalid_argument("ShardManifest: empty sweep digest");
+}
+
+std::string ShardManifest::marker_path(std::size_t shard, std::size_t of) const {
+  return (fs::path(dir_) /
+          ("shard_" + std::to_string(shard) + "_of_" + std::to_string(of) + ".done"))
+      .string();
+}
+
+void ShardManifest::write_done(const ShardMarker& marker) const {
+  std::ostringstream body;
+  body << "v = 1\n"
+       << "sweep = " << sweep_ << '\n'
+       << "shard = " << marker.shard << '\n'
+       << "of = " << marker.of << '\n'
+       << "total_jobs = " << marker.total_jobs << '\n'
+       << "cache_hits = " << marker.cache_hits << '\n'
+       << "claimed_by_merge = " << (marker.claimed_by_merge ? 1 : 0) << '\n'
+       << "stored = " << join_indices(marker.stored) << '\n';
+  // Publish-by-rename, same discipline as ResultCache::store: a crash
+  // mid-write can never publish a half-marker under the final name.
+  util::atomic_write_file(marker_path(marker.shard, marker.of), body.str(), "shard manifest");
+}
+
+std::optional<ShardMarker> ShardManifest::load_done(std::size_t shard, std::size_t of) const {
+  std::ifstream in(marker_path(shard, of), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const util::Config config = util::Config::from_text(buffer.str());
+    if (config.get_int("v", -1) != 1) return std::nullopt;
+    if (config.get_string("sweep", "") != sweep_) return std::nullopt;
+    ShardMarker marker;
+    marker.shard = parse_size("marker shard", config.get_string("shard", ""));
+    marker.of = parse_size("marker of", config.get_string("of", ""));
+    if (marker.shard != shard || marker.of != of) return std::nullopt;
+    marker.total_jobs = parse_size("marker total_jobs", config.get_string("total_jobs", "0"));
+    marker.cache_hits = parse_size("marker cache_hits", config.get_string("cache_hits", "0"));
+    marker.claimed_by_merge = config.get_bool("claimed_by_merge", false);
+    marker.stored = parse_indices(config.get_string("stored", ""));
+    return marker;
+  } catch (const std::exception&) {
+    return std::nullopt;  // torn/corrupt marker: treat the shard as not done
+  }
+}
+
+std::vector<ShardMarker> ShardManifest::collect() const {
+  std::vector<ShardMarker> markers;
+  std::error_code error;
+  fs::directory_iterator it(dir_, error);
+  if (error) return markers;  // no sweep dir yet: no shard has finished
+  for (const fs::directory_entry& entry : it) {
+    std::size_t shard = 0;
+    std::size_t of = 0;
+    if (!parse_marker_name(entry.path().filename().string(), shard, of)) continue;
+    if (std::optional<ShardMarker> marker = load_done(shard, of)) {
+      markers.push_back(std::move(*marker));
+    }
+  }
+  std::sort(markers.begin(), markers.end(), [](const ShardMarker& a, const ShardMarker& b) {
+    return a.of != b.of ? a.of < b.of : a.shard < b.shard;
+  });
+  return markers;
+}
+
+}  // namespace caem::scenario

@@ -1,0 +1,519 @@
+// Tests for distributed sweep sharding: the index-residue shard
+// partition, the sweep digest, completion-marker I/O, the
+// sharded-equivalence battery (N shard runs + merge == one unsharded
+// run, byte for byte), crashed-shard recovery, concurrent-writer
+// atomicity of the cache, and the per-shard/merged stats contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "scenario/engine.hpp"
+#include "scenario/result_cache.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/shard_manifest.hpp"
+#include "scenario/sweep.hpp"
+
+namespace caem::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- partition
+
+TEST(ShardRef, ParsesAndRejects) {
+  EXPECT_EQ(parse_shard("1/1").index, 1u);
+  EXPECT_EQ(parse_shard("1/1").count, 1u);
+  EXPECT_EQ(parse_shard("2/3").index, 2u);
+  EXPECT_EQ(parse_shard("2/3").count, 3u);
+  EXPECT_EQ(parse_shard("7/7").index, 7u);
+  for (const char* bad : {"0/3", "4/3", "a/3", "3/", "/3", "3", "1/0", "1/3x", "-1/3", ""}) {
+    EXPECT_THROW((void)parse_shard(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ShardSlice, DisjointCoveringAndOrderIndependent) {
+  // A miss list with gaps (jobs 3, 7, 8 are prior cache hits).
+  std::vector<std::size_t> misses;
+  for (std::size_t j = 0; j < 20; ++j) {
+    if (j != 3 && j != 7 && j != 8) misses.push_back(j);
+  }
+  for (const std::size_t n : {1u, 2u, 3u, 7u}) {
+    std::vector<std::size_t> merged;
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::vector<std::size_t> slice = shard_slice(misses, i, n);
+      for (const std::size_t job : slice) {
+        EXPECT_EQ(job % n, i - 1);  // membership is a pure function of the job value
+      }
+      merged.insert(merged.end(), slice.begin(), slice.end());
+    }
+    // Disjoint (no duplicates) and covering (union == miss list).
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(merged, misses) << "N=" << n;
+  }
+  // Slicing a subset equals intersecting the subset with the full
+  // slice: the claim does not shift when other shards' stores shrink
+  // the observed miss list.
+  const std::vector<std::size_t> subset = {1, 5, 10, 16};
+  const std::vector<std::size_t> from_subset = shard_slice(subset, 2, 3);
+  std::vector<std::size_t> expected;
+  const std::vector<std::size_t> full = shard_slice(misses, 2, 3);
+  for (const std::size_t job : subset) {
+    if (std::find(full.begin(), full.end(), job) != full.end()) expected.push_back(job);
+  }
+  EXPECT_EQ(from_subset, expected);
+  EXPECT_THROW((void)shard_slice(misses, 0, 3), std::invalid_argument);
+  EXPECT_THROW((void)shard_slice(misses, 4, 3), std::invalid_argument);
+}
+
+TEST(SweepDigest, PinsContentCountAndOrder) {
+  const std::vector<std::string> keys = {"a/x.json", "b/y.json", "c/z.json"};
+  EXPECT_EQ(sweep_digest(keys), sweep_digest(keys));
+  EXPECT_EQ(sweep_digest(keys).size(), 16u);
+  std::vector<std::string> reordered = {"b/y.json", "a/x.json", "c/z.json"};
+  EXPECT_NE(sweep_digest(keys), sweep_digest(reordered));
+  std::vector<std::string> edited = keys;
+  edited[2] = "c/w.json";
+  EXPECT_NE(sweep_digest(keys), sweep_digest(edited));
+  std::vector<std::string> shorter(keys.begin(), keys.end() - 1);
+  EXPECT_NE(sweep_digest(keys), sweep_digest(shorter));
+}
+
+// --------------------------------------------------------------- markers
+
+/// Fresh scratch dir per test (ctest runs tests concurrently).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("caem_shard_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(Manifest, MarkerRoundTripCorruptionAndForeignSweep) {
+  const fs::path dir = scratch_dir("manifest");
+  const ShardManifest manifest(dir.string(), "feedfacefeedface");
+  EXPECT_EQ(manifest.load_done(1, 3), std::nullopt);  // absent
+  EXPECT_TRUE(manifest.collect().empty());
+
+  ShardMarker marker;
+  marker.shard = 2;
+  marker.of = 3;
+  marker.total_jobs = 12;
+  marker.cache_hits = 4;
+  marker.stored = {1, 4, 10};
+  manifest.write_done(marker);
+
+  const auto loaded = manifest.load_done(2, 3);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->shard, 2u);
+  EXPECT_EQ(loaded->of, 3u);
+  EXPECT_EQ(loaded->total_jobs, 12u);
+  EXPECT_EQ(loaded->cache_hits, 4u);
+  EXPECT_FALSE(loaded->claimed_by_merge);
+  EXPECT_EQ(loaded->stored, (std::vector<std::size_t>{1, 4, 10}));
+
+  // A corrupt marker reads as not-done, and collect() skips it.
+  std::ofstream(manifest.marker_path(1, 3), std::ios::trunc) << "v = 1\nshard = torn";
+  EXPECT_EQ(manifest.load_done(1, 3), std::nullopt);
+  // A marker stamped for a different sweep is never trusted.
+  {
+    std::ofstream foreign(manifest.marker_path(3, 3), std::ios::trunc);
+    foreign << "v = 1\nsweep = 0000000000000000\nshard = 3\nof = 3\nstored = \n";
+  }
+  EXPECT_EQ(manifest.load_done(3, 3), std::nullopt);
+  const auto collected = manifest.collect();
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].shard, 2u);
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------------- engine battery prep
+
+ScenarioSpec battery_spec() {
+  ScenarioSpec spec;
+  spec.name = "shardbat";
+  spec.base_config.node_count = 10;
+  spec.base_config.field_size_m = 40.0;
+  spec.base_config.ch_fraction = 0.2;
+  spec.base_config.round_duration_s = 5.0;
+  spec.base_seed = 42;
+  spec.replications = 2;
+  spec.options.max_sim_s = 8.0;
+  spec.protocols = {core::Protocol::kPureLeach, core::Protocol::kCaemScheme2};
+  spec.axes = {Axis{"traffic_rate_pps", {"3", "6"}}};
+  return spec;  // 2 points x 2 protocols x 2 reps = 8 jobs
+}
+
+/// Entry path of every flattened job, in job order.
+std::vector<std::string> job_paths(const ScenarioSpec& spec, const ResultCache& cache) {
+  const std::vector<GridPoint> grid = expand_grid(spec.axes);
+  std::vector<std::string> paths(spec.total_jobs());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const JobCoords c = job_coords(spec, i);
+    paths[i] = cache.entry_path(spec.config_at(grid[c.point]), spec.protocols[c.protocol],
+                                spec.base_seed + c.rep, spec.options);
+  }
+  return paths;
+}
+
+std::vector<std::size_t> miss_list(const std::vector<std::string>& paths,
+                                   const ResultCache& cache) {
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!cache.load(paths[i]).has_value()) misses.push_back(i);
+  }
+  return misses;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Artifacts {
+  std::string csv;
+  std::string json;
+  std::map<std::string, std::string> traces;  ///< filename -> bytes
+};
+
+/// Render CSV + JSON + trace artifacts of `result` into `dir`.
+Artifacts render_to(const ScenarioResult& result, ScenarioSpec spec, const fs::path& dir) {
+  spec.csv_path = (dir / "out.csv").string();
+  spec.json_path = (dir / "out.json").string();
+  spec.trace_dir = (dir / "traces").string();
+  spec.trace_points = 9;
+  std::ostringstream log;
+  write_outputs(result, spec, log);
+  Artifacts artifacts;
+  artifacts.csv = read_file(spec.csv_path);
+  artifacts.json = read_file(spec.json_path);
+  for (const auto& entry : fs::directory_iterator(spec.trace_dir)) {
+    artifacts.traces[entry.path().filename().string()] = read_file(entry.path());
+  }
+  return artifacts;
+}
+
+// ----------------------------------------------------- equivalence battery
+
+TEST(Shard, EquivalenceBatteryAcrossShardCounts) {
+  const ScenarioSpec spec = battery_spec();
+
+  // Reference: one uncached single-process run — the strongest baseline
+  // (sharded + merged-from-cache must match pure in-memory compute).
+  const fs::path ref_dir = scratch_dir("bat_ref");
+  const ScenarioResult reference = run_scenario(spec);
+  const Artifacts ref = render_to(reference, spec, ref_dir);
+  ASSERT_EQ(ref.traces.size(), 4u);  // 2 points x 2 protocols
+
+  // Pre-warm spec: only the traffic=3 point — its cells digest
+  // identically to the battery sweep's, so the battery starts with
+  // mixed prior hits (jobs 0..3 hit, jobs 4..7 miss).
+  ScenarioSpec prewarm = spec;
+  prewarm.axes = {Axis{"traffic_rate_pps", {"3"}}};
+
+  for (const std::size_t n : {1u, 2u, 3u, 7u}) {
+    const fs::path cache_dir = scratch_dir("bat_cache_n" + std::to_string(n));
+    {
+      ScenarioSpec warm = prewarm;
+      warm.cache_dir = cache_dir.string();
+      (void)run_scenario(warm);
+    }
+    const ResultCache cache(cache_dir.string());
+    const std::vector<std::string> paths = job_paths(spec, cache);
+    const std::vector<std::size_t> misses = miss_list(paths, cache);
+    ASSERT_EQ(misses, (std::vector<std::size_t>{4, 5, 6, 7})) << "N=" << n;
+
+    // Run every shard (sequentially here; the partition is a pure
+    // function of job-index residue, so ordering cannot matter).
+    std::set<std::size_t> stored_union;
+    std::size_t executed_total = 0;
+    std::size_t hits_total = 0;
+    std::size_t shard_jobs_total = 0;
+    std::string digest;
+    for (std::size_t i = 1; i <= n; ++i) {
+      ScenarioSpec shard = spec;
+      shard.cache_dir = cache_dir.string();
+      shard.shard_index = i;
+      shard.shard_count = n;
+      const ScenarioResult result = run_scenario(shard);
+      EXPECT_TRUE(result.points.empty());  // partial run: no fold
+      EXPECT_EQ(result.cache_hits + result.executed_jobs, result.shard_jobs);
+      EXPECT_EQ(result.cache_misses, result.executed_jobs);
+      EXPECT_TRUE(fs::exists(result.marker_path));
+      digest = result.sweep_digest;
+      const auto marker = ShardManifest(cache_dir.string(), digest).load_done(i, n);
+      ASSERT_TRUE(marker.has_value()) << "N=" << n << " shard " << i;
+      EXPECT_EQ(marker->stored.size(), result.executed_jobs);
+      for (const std::size_t job : marker->stored) {
+        EXPECT_TRUE(stored_union.insert(job).second)
+            << "job " << job << " stored by two shards (N=" << n << ")";
+      }
+      executed_total += result.executed_jobs;
+      hits_total += result.cache_hits;
+      shard_jobs_total += result.shard_jobs;
+    }
+    // The shard partitions are disjoint (insert check above) and their
+    // union is exactly the miss list; the slices jointly cover every
+    // job; prior hits are seen exactly once across all shards.
+    EXPECT_EQ(std::vector<std::size_t>(stored_union.begin(), stored_union.end()), misses);
+    EXPECT_EQ(executed_total, misses.size());
+    EXPECT_EQ(shard_jobs_total, spec.total_jobs());
+    EXPECT_EQ(hits_total, spec.total_jobs() - misses.size());
+
+    // Merge: every shard is done, so nothing executes and the fold is
+    // pure cache hits — byte-identical artifacts to the reference.
+    ScenarioSpec merge = spec;
+    merge.cache_dir = cache_dir.string();
+    merge.merge_shards = true;
+    const ScenarioResult merged = run_scenario(merge);
+    EXPECT_TRUE(merged.merged);
+    EXPECT_EQ(merged.executed_jobs, 0u);
+    EXPECT_EQ(merged.cache_hits, spec.total_jobs());
+    EXPECT_EQ(merged.shards_expected, n);
+    EXPECT_EQ(merged.shards_done, n);
+    EXPECT_TRUE(merged.shards_missing.empty());
+    EXPECT_EQ(merged.sweep_digest, digest);
+    const fs::path merged_dir = scratch_dir("bat_merged_n" + std::to_string(n));
+    const Artifacts out = render_to(merged, spec, merged_dir);
+    EXPECT_EQ(out.csv, ref.csv) << "N=" << n;
+    EXPECT_EQ(out.json, ref.json) << "N=" << n;
+    EXPECT_EQ(out.traces, ref.traces) << "N=" << n;
+    fs::remove_all(cache_dir);
+    fs::remove_all(merged_dir);
+  }
+  fs::remove_all(ref_dir);
+}
+
+// ------------------------------------------------- crashed-shard recovery
+
+TEST(Shard, CrashedShardRecoveryExecutesExactlyTheMissingCells) {
+  const ScenarioSpec spec = battery_spec();
+  const fs::path cache_dir = scratch_dir("crash_cache");
+  const ResultCache cache(cache_dir.string());
+  const std::vector<std::string> paths = job_paths(spec, cache);
+  const std::vector<GridPoint> grid = expand_grid(spec.axes);
+
+  // Shard 1/2 completes normally.
+  {
+    ScenarioSpec shard = spec;
+    shard.cache_dir = cache_dir.string();
+    shard.shard_index = 1;
+    shard.shard_count = 2;
+    const ScenarioResult result = run_scenario(shard);
+    EXPECT_EQ(result.executed_jobs, 4u);  // jobs 0, 2, 4, 6
+  }
+
+  // Shard 2/2 "crashes": it stores half its cells (jobs 1 and 3) and
+  // dies before the rest — and before its marker.  Simulated by storing
+  // the cells directly, exactly what a killed process leaves behind.
+  const std::vector<std::size_t> crashed_assigned =
+      shard_slice(miss_list(paths, cache), 2, 2);
+  ASSERT_EQ(crashed_assigned, (std::vector<std::size_t>{1, 3, 5, 7}));
+  for (const std::size_t job : {std::size_t{1}, std::size_t{3}}) {
+    const JobCoords c = job_coords(spec, job);
+    cache.store(paths[job],
+                core::SimulationRunner::run(spec.config_at(grid[c.point]),
+                                            spec.protocols[c.protocol],
+                                            spec.base_seed + c.rep, spec.options));
+  }
+
+  // Merge detects the crashed shard and re-executes exactly its
+  // unfinished cells (5 and 7) — the half it stored is not re-run.
+  ScenarioSpec merge = spec;
+  merge.cache_dir = cache_dir.string();
+  merge.merge_shards = true;
+  const ScenarioResult merged = run_scenario(merge);
+  EXPECT_EQ(merged.shards_expected, 2u);
+  EXPECT_EQ(merged.shards_done, 1u);
+  EXPECT_EQ(merged.shards_missing, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(merged.executed_jobs, 2u);
+  EXPECT_EQ(merged.cache_hits, 6u);
+
+  // The merger claimed the crashed shard's marker, recording the cells
+  // it finished on its behalf.
+  const auto claim = ShardManifest(cache_dir.string(), merged.sweep_digest).load_done(2, 2);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_TRUE(claim->claimed_by_merge);
+  EXPECT_EQ(claim->stored, (std::vector<std::size_t>{5, 7}));
+
+  // A second merge finds a complete census and executes nothing.
+  const ScenarioResult again = run_scenario(merge);
+  EXPECT_EQ(again.executed_jobs, 0u);
+  EXPECT_EQ(again.shards_done, 2u);
+  EXPECT_TRUE(again.shards_missing.empty());
+
+  // And the final fold is indistinguishable from a single-process run.
+  const fs::path ref_dir = scratch_dir("crash_ref");
+  const fs::path out_dir = scratch_dir("crash_out");
+  const Artifacts ref = render_to(run_scenario(spec), spec, ref_dir);
+  const Artifacts out = render_to(merged, spec, out_dir);
+  EXPECT_EQ(out.csv, ref.csv);
+  EXPECT_EQ(out.json, ref.json);
+  EXPECT_EQ(out.traces, ref.traces);
+  fs::remove_all(cache_dir);
+  fs::remove_all(ref_dir);
+  fs::remove_all(out_dir);
+}
+
+// ------------------------------------------------- concurrent cache writers
+
+TEST(ShardCache, ConcurrentStoresOnOneCellNeverTearReads) {
+  const fs::path dir = scratch_dir("concurrent_store");
+  const ResultCache cache(dir.string());
+  core::NetworkConfig config;
+  core::RunOptions options;
+  core::RunResult a;
+  a.protocol = core::Protocol::kCaemScheme2;
+  a.seed = 1;
+  a.total_consumed_j = 111.5;
+  a.avg_remaining_energy.add(0.0, 10.0);
+  core::RunResult b = a;
+  b.total_consumed_j = 222.25;
+  const std::string path = cache.entry_path(config, core::Protocol::kCaemScheme2, 1, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> observed{0};
+  std::thread reader([&] {
+    bool seen = false;
+    while (!stop.load()) {
+      const std::optional<core::RunResult> loaded = cache.load(path);
+      if (loaded.has_value()) {
+        seen = true;
+        ++observed;
+        if (loaded->total_consumed_j != 111.5 && loaded->total_consumed_j != 222.25) ++torn;
+      } else if (seen) {
+        ++torn;  // entry vanished or tore after the first complete write
+      }
+    }
+  });
+  std::thread writer_a([&] {
+    for (int i = 0; i < 200; ++i) cache.store(path, a);
+  });
+  std::thread writer_b([&] {
+    for (int i = 0; i < 200; ++i) cache.store(path, b);
+  });
+  writer_a.join();
+  writer_b.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(observed.load(), 0);
+  // Whoever renamed last wins; either way the entry is one valid run.
+  const std::optional<core::RunResult> final_entry = cache.load(path);
+  ASSERT_TRUE(final_entry.has_value());
+  EXPECT_TRUE(final_entry->total_consumed_j == 111.5 ||
+              final_entry->total_consumed_j == 222.25);
+  // No temp litter: every write was finalised or cleaned up.
+  std::size_t temps = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) ++temps;
+  }
+  EXPECT_EQ(temps, 0u);
+  fs::remove_all(dir);
+}
+
+// ----------------------------------------------------- stats + rejections
+
+TEST(Shard, StatsCoherentPerShardAndMerged) {
+  ScenarioSpec spec = battery_spec();
+  spec.replications = 1;
+  spec.protocols = {core::Protocol::kCaemScheme2};  // 2 jobs total
+  const fs::path cache_dir = scratch_dir("stats_cache");
+  spec.cache_dir = cache_dir.string();
+
+  std::size_t shard_jobs_total = 0;
+  std::size_t executed_total = 0;
+  for (std::size_t i = 1; i <= 2; ++i) {
+    ScenarioSpec shard = spec;
+    shard.shard_index = i;
+    shard.shard_count = 2;
+    const ScenarioResult result = run_scenario(shard);
+    EXPECT_EQ(result.shard_index, i);
+    EXPECT_EQ(result.shard_count, 2u);
+    EXPECT_EQ(result.cache_hits + result.executed_jobs, result.shard_jobs);
+    EXPECT_EQ(result.cache_misses, result.executed_jobs);
+    shard_jobs_total += result.shard_jobs;
+    executed_total += result.executed_jobs;
+  }
+  EXPECT_EQ(shard_jobs_total, spec.total_jobs());
+  EXPECT_EQ(executed_total, spec.total_jobs());  // cold cache: every cell ran once
+
+  ScenarioSpec merge = spec;
+  merge.merge_shards = true;
+  const ScenarioResult merged = run_scenario(merge);
+  EXPECT_EQ(merged.cache_hits, spec.total_jobs());
+  EXPECT_EQ(merged.executed_jobs, 0u);
+  EXPECT_EQ(merged.cache_misses, 0u);
+  EXPECT_EQ(merged.cache_hits + merged.executed_jobs, merged.total_jobs);
+  fs::remove_all(cache_dir);
+}
+
+TEST(Shard, MergeCensusTrustsTheMajorityShardCount) {
+  ScenarioSpec spec = battery_spec();
+  spec.replications = 1;
+  spec.protocols = {core::Protocol::kCaemScheme2};  // 2 jobs total
+  const fs::path cache_dir = scratch_dir("census_cache");
+  spec.cache_dir = cache_dir.string();
+
+  std::string digest;
+  for (std::size_t i = 1; i <= 2; ++i) {
+    ScenarioSpec shard = spec;
+    shard.shard_index = i;
+    shard.shard_count = 2;
+    digest = run_scenario(shard).sweep_digest;
+  }
+  // A stale marker from an aborted 7-way launch of the same sweep must
+  // not hijack the census: the majority N (two of_2 markers vs one
+  // of_7) wins, so the completed 2-shard launch reads as complete.
+  ShardMarker stale;
+  stale.shard = 1;
+  stale.of = 7;
+  stale.total_jobs = spec.total_jobs();
+  ShardManifest(cache_dir.string(), digest).write_done(stale);
+
+  ScenarioSpec merge = spec;
+  merge.merge_shards = true;
+  const ScenarioResult merged = run_scenario(merge);
+  EXPECT_EQ(merged.shards_expected, 2u);
+  EXPECT_EQ(merged.shards_done, 2u);
+  EXPECT_TRUE(merged.shards_missing.empty());
+  EXPECT_EQ(merged.executed_jobs, 0u);
+  fs::remove_all(cache_dir);
+}
+
+TEST(Shard, RejectsIncoherentModes) {
+  ScenarioSpec spec = battery_spec();
+  spec.shard_count = 2;
+  spec.shard_index = 1;
+  // Sharding without a cache: nowhere to merge through.
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  spec.cache_dir = (fs::temp_directory_path() / "caem_shard_never_created").string();
+  spec.use_cache = false;  // --no-cache disables the substrate too
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  spec.use_cache = true;
+  spec.shard_index = 0;  // out of range (1-based)
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  spec.shard_index = 3;  // > count
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  spec.shard_index = 1;
+  spec.merge_shards = true;  // shard and merge are exclusive
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  spec.shard_count = 0;
+  spec.shard_index = 0;
+  spec.cache_dir.clear();  // merge without a cache
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  EXPECT_FALSE(fs::exists(fs::temp_directory_path() / "caem_shard_never_created"));
+}
+
+}  // namespace
+}  // namespace caem::scenario
