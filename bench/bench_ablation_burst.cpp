@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   spec.base_seed = args.seed;
   spec.replications = args.reps;
   spec.options.max_sim_s = args.fast ? 60.0 : 120.0;
-  spec.protocols = {core::Protocol::kPureLeach};
+  spec.protocols = {core::protocol_from_string("leach")};
   spec.axes.push_back(scenario::Axis{"burst_min,burst_max", policies});
   const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 

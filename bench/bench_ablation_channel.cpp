@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   fading_spec.base_seed = args.seed;
   fading_spec.replications = args.reps;
   fading_spec.options = options;
-  fading_spec.protocols = {core::Protocol::kPureLeach, core::Protocol::kCaemScheme2};
+  fading_spec.protocols = {core::protocol_from_string("leach"), core::protocol_from_string("scheme2")};
   fading_spec.axes.push_back(
       scenario::Axis{"channel.fading_kind", {"jakes", "rician", "block"}});
   const scenario::ScenarioResult fading_sweep = scenario::run_scenario(fading_spec);

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   spec.base_seed = args.seed;
   spec.replications = args.reps;
   spec.options.max_sim_s = args.fast ? 60.0 : 120.0;
-  spec.protocols = {core::Protocol::kCaemScheme1};
+  spec.protocols = {core::protocol_from_string("scheme1")};
   spec.axes.push_back(scenario::Axis{"sample_every_m", intervals});
   const scenario::ScenarioResult sweep = scenario::run_scenario(spec);
 

@@ -59,11 +59,11 @@ int main(int argc, char** argv) {
   };
 
   const scenario::ScenarioResult leach =
-      scenario::run_scenario(make_spec("ext-deadline-leach", core::Protocol::kPureLeach));
+      scenario::run_scenario(make_spec("ext-deadline-leach", core::protocol_from_string("leach")));
   add_row("pure-leach", leach.points[0].protocols[0].replicated);
 
   scenario::ScenarioSpec deadline_spec =
-      make_spec("ext-deadline-sweep", core::Protocol::kCaemDeadline);
+      make_spec("ext-deadline-sweep", core::protocol_from_string("deadline"));
   const std::vector<std::string> deadlines =
       args.fast ? std::vector<std::string>{"0.5"}
                 : std::vector<std::string>{"0.1", "0.25", "0.5", "1", "2"};
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
   }
 
   const scenario::ScenarioResult scheme2 =
-      scenario::run_scenario(make_spec("ext-deadline-scheme2", core::Protocol::kCaemScheme2));
+      scenario::run_scenario(make_spec("ext-deadline-scheme2", core::protocol_from_string("scheme2")));
   add_row("caem-scheme2", scheme2.points[0].protocols[0].replicated);
 
   table.render(std::cout);

@@ -188,7 +188,7 @@ Fig9Timing fig9_timing(const core::NetworkConfig& config, std::uint64_t seed,
   options.run_to_death = true;
   Fig9Timing timing;
   const auto start = std::chrono::steady_clock::now();
-  for (const core::Protocol protocol : core::kAllProtocols) {
+  for (const core::Protocol protocol : core::paper_protocols()) {
     const auto result = core::SimulationRunner::run(config, protocol, seed, options);
     timing.simulated_s += result.sim_end_s;
     timing.events += result.executed_events;
@@ -359,7 +359,7 @@ void BM_NetworkSimulatedSecond(benchmark::State& state) {
   // paper's default 100-node network under Scheme 1.
   core::NetworkConfig config;
   config.initial_energy_j = 1e6;
-  core::Network network(config, core::Protocol::kCaemScheme1, 7);
+  core::Network network(config, core::protocol_from_string("scheme1"), 7);
   network.start();
   double horizon = 0.0;
   for (auto _ : state) {

@@ -3,6 +3,7 @@
 //   caem run <scenario.scn> [flags] [key=value ...]     run a sweep
 //   caem merge <scenario.scn> [flags] [key=value ...]   complete + fold a sharded sweep
 //   caem expand <scenario.scn> [key=value ...]          print the grid, run nothing
+//   caem protocols                                      list the protocol registry
 //   caem help                                           usage
 //
 // Flags:
@@ -29,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/protocol.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/shard_manifest.hpp"
@@ -43,6 +45,8 @@ int usage(std::ostream& out, int exit_code) {
          "                      complete a sharded sweep: census shard markers, re-run\n"
          "                      crashed shards' unfinished cells, fold from pure cache hits\n"
          "  caem expand <scenario.scn> [key=value ...]       show grid points without running\n"
+         "  caem protocols      list registered protocols (scenario.protocols accepts any\n"
+         "                      name or alias shown there)\n"
          "  caem help\n"
          "\n"
          "flags (run/merge):\n"
@@ -197,6 +201,32 @@ int run_command(int argc, char** argv, bool merge) {
   return 0;
 }
 
+int protocols_command() {
+  // One row per registration, straight from the registry — the columns
+  // are exactly what a ProtocolSpec controls.
+  caem::util::TableWriter table(
+      {"name", "aliases", "threshold_policy", "deadline_override", "clustering", "summary"});
+  for (const caem::core::Protocol protocol : caem::core::registered_protocols()) {
+    const caem::core::ProtocolSpec& spec = protocol.spec();
+    std::string aliases;
+    for (const std::string& alias : spec.aliases) {
+      if (!aliases.empty()) aliases += ",";
+      aliases += alias;
+    }
+    table.new_row()
+        .cell(spec.name)
+        .cell(aliases.empty() ? "-" : aliases)
+        .cell(std::string(caem::queueing::to_string(spec.policy)))
+        .cell(spec.deadline_override ? "yes" : "no")
+        .cell(spec.clustering_label())
+        .cell(spec.summary);
+  }
+  table.render(std::cout);
+  std::cout << "\nscenario files select protocols by name, e.g. scenario.protocols = "
+               "leach,direct,static-cluster\n";
+  return 0;
+}
+
 int expand_command(int argc, char** argv) {
   const CliArgs cli = parse_cli(argc, argv, 3);
   if (!cli.cache_dir.empty() || cli.no_cache || !cli.shard.empty() || cli.require_complete) {
@@ -222,8 +252,16 @@ int main(int argc, char** argv) {
   if (command == "help" || command == "--help" || command == "-h") {
     return usage(std::cout, 0);
   }
-  if (command != "run" && command != "merge" && command != "expand") {
+  if (command != "run" && command != "merge" && command != "expand" &&
+      command != "protocols") {
     return usage(std::cerr, 2);
+  }
+  if (command == "protocols") {
+    if (argc > 2) {
+      std::cerr << "caem protocols: takes no arguments\n";
+      return 2;
+    }
+    return protocols_command();
   }
   if (argc < 3) {
     std::cerr << "caem " << command << ": missing scenario file\n";

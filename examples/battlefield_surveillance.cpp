@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
 
   util::TableWriter table({"protocol", "queue stddev", "overflow drops", "retry drops",
                            "delivery%", "p95 delay ms", "mJ/packet"});
-  for (const core::Protocol protocol : core::kAllProtocols) {
+  for (const core::Protocol protocol : core::paper_protocols()) {
     const core::RunResult run =
         core::SimulationRunner::run(config, protocol, /*seed=*/1234, options);
     table.new_row()

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
             << config.initial_energy_j << " J batteries\n\n";
 
   std::vector<core::RunResult> runs;
-  for (const core::Protocol protocol : core::kAllProtocols) {
+  for (const core::Protocol protocol : core::paper_protocols()) {
     runs.push_back(core::SimulationRunner::run(config, protocol, /*seed=*/7, options));
   }
 

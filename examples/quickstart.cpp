@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   util::TableWriter table({"protocol", "delivered", "delivery%", "mJ/packet",
                            "mean delay ms", "collisions", "consumed J"});
-  for (const core::Protocol protocol : core::kAllProtocols) {
+  for (const core::Protocol protocol : core::paper_protocols()) {
     const core::RunResult run =
         core::SimulationRunner::run(config, protocol, /*seed=*/42, options);
     table.new_row()

@@ -86,7 +86,8 @@ struct NetworkConfig {
 
   /// Deadline-aware CAEM (future-work variant): a sensor whose
   /// head-of-line packet is older than this may transmit even when the
-  /// CSI gate denies.  0 disables.  Only used by Protocol::kCaemDeadline.
+  /// CSI gate denies.  0 disables.  Only protocols whose spec sets
+  /// deadline_override (caem-deadline, caem-adaptive-deadline) arm it.
   double csi_gate_deadline_s = 0.5;
 
   // ---- lifetime / sampling ----
@@ -105,6 +106,14 @@ struct NetworkConfig {
 
   /// Link budget implied by the RF parameters.
   [[nodiscard]] channel::LinkBudget link_budget() const noexcept;
+
+  /// First-order radio cost of one bit on the long haul to the base
+  /// station (classic LEACH model: e_elec + eps_amp * d_bs^2).  The ONE
+  /// formula both CH forwarding and the clusterless direct uplink
+  /// charge — change the long-haul physics here and both move together.
+  [[nodiscard]] double bs_uplink_j_per_bit() const noexcept {
+    return fwd_e_elec_j_per_bit + fwd_eps_amp_j_per_bit_m2 * bs_distance_m * bs_distance_m;
+  }
 
   /// Throw std::invalid_argument on inconsistent values.
   void validate() const;

@@ -17,12 +17,11 @@ Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
       error_model_(&table_),
       metrics_(config_.node_count) {
   config_.validate();
-  rounds_ = std::make_unique<leach::RoundManager>(config_.node_count, config_.ch_fraction,
-                                                  config_.round_duration_s);
+  const ProtocolSpec& spec = protocol_.spec();
+  if (spec.clustering) clustering_ = spec.clustering(config_);
 
   // Place nodes uniformly in the square field and build them.
   util::Rng placement = rng_.make_stream("placement");
-  const queueing::ThresholdPolicy policy = threshold_policy_for(protocol_);
   nodes_.reserve(config_.node_count);
   sources_.reserve(config_.node_count);
   traffic_streams_.reserve(config_.node_count);
@@ -48,10 +47,8 @@ Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
     if (channel_id != id) throw std::logic_error("Network: node id mismatch");
 
     auto csi = [this, id](double t) { return link_snr_db(id, t); };
-    const double deadline =
-        protocol_ == Protocol::kCaemDeadline ? config_.csi_gate_deadline_s : 0.0;
     auto node = std::make_unique<Node>(
-        id, position, config_, policy, deadline, &sim_, &table_, &timing_, &error_model_,
+        id, position, config_, spec, &sim_, &table_, &timing_, &error_model_,
         tone::ToneMonitor::CsiProvider(csi), mac::SensorMac::TrueSnrProvider(csi),
         rng_.make_stream("mac/" + std::to_string(id)),
         rng_.make_stream("csi/" + std::to_string(id)));
@@ -104,7 +101,9 @@ void Network::start() {
   if (started_) throw std::logic_error("Network: start() called twice");
   started_ = true;
   for (std::uint32_t id = 0; id < nodes_.size(); ++id) schedule_arrival(id);
-  sim_.schedule_at(0.0, [this](double now) { begin_round(now); });
+  // Clusterless protocols have no round structure: arrivals uplink
+  // directly (handle_arrival) and nothing else needs scheduling.
+  if (clustering_) sim_.schedule_at(0.0, [this](double now) { begin_round(now); });
   schedule_energy_snapshot();
   schedule_queue_snapshot();
 }
@@ -139,7 +138,7 @@ void Network::begin_round(double now_s) {
   }
 
   util::Rng& leach_rng = rng_.stream(leach_stream_);
-  const auto clusters = rounds_->next_round(positions(now_s), alive, leach_rng);
+  const auto clusters = clustering_->next_round(positions(now_s), alive, leach_rng);
 
   for (const auto& cluster : clusters) {
     Node& head = *nodes_.at(cluster.head);
@@ -198,7 +197,10 @@ void Network::handle_arrival(std::uint32_t id, double now_s) {
   packet.payload_bits = config_.packet_bits;
   metrics_.record_generated(id, now_s);
 
-  if (node.is_cluster_head()) {
+  if (!clustering_) {
+    // Clusterless protocol: the sensor uplinks straight to the sink.
+    deliver_direct(node, packet, now_s);
+  } else if (node.is_cluster_head()) {
     // The CH aggregates its own observation locally: no radio involved.
     metrics_.record_self_delivered(packet, now_s);
   } else {
@@ -209,6 +211,26 @@ void Network::handle_arrival(std::uint32_t id, double now_s) {
   schedule_arrival(id);
 }
 
+// Direct-to-sink uplink (clusterless protocols): the node transmits the
+// whole packet straight to the base station under the same first-order
+// radio model as CH forwarding, but unaggregated — sensors send raw
+// observations.  The uplink is contention-free (every node owns its
+// slot toward the sink), so delivery always succeeds while the battery
+// lasts; delivered_per_mode books it under the most robust class (the
+// long-haul link).
+void Network::deliver_direct(Node& node, const queueing::Packet& packet, double now_s) {
+  const double cost_j = packet.payload_bits * config_.bs_uplink_j_per_bit();
+  const bool funded = node.battery().remaining_j() >= cost_j;
+  // The transmission spends whatever charge is left either way (an
+  // underfunded one kills the node), but only a fully funded uplink
+  // reaches the sink — the dying node's final packet is lost in flight,
+  // like the clustered path's mid-transmission deaths.
+  if (funded) metrics_.record_delivered(packet, 0, now_s);
+  const double drawn = node.battery().drain(cost_j, now_s);
+  node.ledger().add(energy::RadioId::kData, energy::RadioState::kTx, drawn);
+  if (!funded) metrics_.record_drop(packet, queueing::DropReason::kNodeDeath, now_s);
+}
+
 // CH -> base station forwarding cost (extension): first-order radio
 // model, charged per aggregated bit against the CH's battery/ledger.
 void Network::charge_forwarding(std::uint32_t head_id, const queueing::Packet& packet,
@@ -216,10 +238,7 @@ void Network::charge_forwarding(std::uint32_t head_id, const queueing::Packet& p
   Node& head = *nodes_.at(head_id);
   if (!head.alive()) return;
   const double bits = packet.payload_bits * config_.aggregation_ratio;
-  const double per_bit = config_.fwd_e_elec_j_per_bit +
-                         config_.fwd_eps_amp_j_per_bit_m2 * config_.bs_distance_m *
-                             config_.bs_distance_m;
-  const double joules = bits * per_bit;
+  const double joules = bits * config_.bs_uplink_j_per_bit();
   const double drawn = head.battery().drain(joules, now_s);
   head.ledger().add(energy::RadioId::kData, energy::RadioState::kTx, drawn);
 }

@@ -15,7 +15,7 @@
 #include "core/config.hpp"
 #include "core/node.hpp"
 #include "core/protocol.hpp"
-#include "leach/round_manager.hpp"
+#include "leach/clustering.hpp"
 #include "mac/cluster_head_mac.hpp"
 #include "metrics/collector.hpp"
 #include "phy/abicm.hpp"
@@ -56,8 +56,10 @@ class Network {
   [[nodiscard]] const Node& node(std::size_t i) const { return *nodes_.at(i); }
   [[nodiscard]] std::size_t alive_count() const noexcept { return metrics_.alive_count(); }
 
+  /// Rounds the clustering strategy has begun (0 for clusterless
+  /// protocols, which have no round structure at all).
   [[nodiscard]] std::uint32_t rounds_started() const noexcept {
-    return rounds_ ? rounds_->rounds_started() : 0;
+    return clustering_ ? clustering_->rounds_started() : 0;
   }
 
   /// Collision total across all rounds so far (current round included
@@ -95,6 +97,7 @@ class Network {
   void handle_arrival(std::uint32_t id, double now_s);
   void handle_node_death(std::uint32_t id, double now_s);
   void charge_forwarding(std::uint32_t head_id, const queueing::Packet& packet, double now_s);
+  void deliver_direct(Node& node, const queueing::Packet& packet, double now_s);
   void schedule_energy_snapshot();
   void schedule_queue_snapshot();
   [[nodiscard]] double link_snr_db(std::uint32_t id, double time_s);
@@ -114,7 +117,9 @@ class Network {
   phy::FrameTiming timing_;
   phy::PacketErrorModel error_model_;
   metrics::MetricsCollector metrics_;
-  std::unique_ptr<leach::RoundManager> rounds_;
+  /// Built from the protocol spec's clustering factory; null for
+  /// clusterless protocols (direct uplink — no rounds, no CHs).
+  std::unique_ptr<leach::ClusteringStrategy> clustering_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<traffic::TrafficSource>> sources_;

@@ -5,7 +5,7 @@
 namespace caem::core {
 
 Node::Node(std::uint32_t id, channel::Vec2 position, const NetworkConfig& config,
-           queueing::ThresholdPolicy policy, double csi_gate_deadline_s, sim::Simulator* sim,
+           const ProtocolSpec& protocol, sim::Simulator* sim,
            const phy::AbicmTable* table,
            const phy::FrameTiming* timing, const phy::PacketErrorModel* error_model,
            tone::ToneMonitor::CsiProvider csi_estimate,
@@ -17,14 +17,14 @@ Node::Node(std::uint32_t id, channel::Vec2 position, const NetworkConfig& config
       data_radio_(energy::RadioId::kData, config.data_radio_profile(), &battery_, &ledger_),
       tone_radio_(energy::RadioId::kTone, config.tone_radio_profile(), &battery_, &ledger_),
       queue_(config.buffer_capacity),
-      controller_(policy, table, config.sample_every_m, config.arm_queue_length),
+      controller_(protocol.policy, table, config.sample_every_m, config.arm_queue_length),
       monitor_(std::move(csi_estimate), config.tone_classify_delay_s, config.csi_noise_db, csi_rng) {
   mac::SensorMacConfig mac_config;
   mac_config.backoff = config.backoff;
   mac_config.burst = config.burst;
   mac_config.check_interval_s = config.check_interval_s;
   mac_config.acquisition_delay_s = config.sensing_delay_s;
-  mac_config.csi_gate_deadline_s = csi_gate_deadline_s;
+  mac_config.csi_gate_deadline_s = protocol.deadline_override ? config.csi_gate_deadline_s : 0.0;
   mac_ = std::make_unique<mac::SensorMac>(sim, id, mac_config, &data_radio_, &tone_radio_,
                                           &queue_, &controller_, &monitor_, table, timing,
                                           error_model, std::move(true_snr), mac_rng);

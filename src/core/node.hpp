@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "channel/mobility.hpp"
+#include "core/protocol.hpp"
 #include "energy/battery.hpp"
 #include "energy/energy_ledger.hpp"
 #include "energy/radio_energy_model.hpp"
@@ -26,9 +27,11 @@ struct NetworkConfig;
 
 class Node {
  public:
-  /// Built by Network; see network.cpp for the wiring.
+  /// Built by Network; see network.cpp for the wiring.  The protocol
+  /// spec supplies the CSI-gate policy and whether the head-of-line
+  /// deadline override (config.csi_gate_deadline_s) is armed.
   Node(std::uint32_t id, channel::Vec2 position, const NetworkConfig& config,
-       queueing::ThresholdPolicy policy, double csi_gate_deadline_s, sim::Simulator* sim,
+       const ProtocolSpec& protocol, sim::Simulator* sim,
        const phy::AbicmTable* table,
        const phy::FrameTiming* timing, const phy::PacketErrorModel* error_model,
        tone::ToneMonitor::CsiProvider csi_estimate, mac::SensorMac::TrueSnrProvider true_snr,

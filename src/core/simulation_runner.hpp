@@ -14,7 +14,7 @@ namespace caem::core {
 
 /// Everything a benchmark or example needs from one finished run.
 struct RunResult {
-  Protocol protocol = Protocol::kPureLeach;
+  Protocol protocol;  ///< default-constructs to pure-leach
   std::uint64_t seed = 0;
   double sim_end_s = 0.0;
   std::uint64_t executed_events = 0;  ///< kernel events fired (perf accounting)

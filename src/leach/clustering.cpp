@@ -1,0 +1,56 @@
+#include "leach/clustering.hpp"
+
+#include <stdexcept>
+
+namespace caem::leach {
+
+RoundElectionClustering::RoundElectionClustering(std::size_t node_count, double p,
+                                                double round_duration_s)
+    : manager_(node_count, p, round_duration_s) {}
+
+std::vector<Cluster> RoundElectionClustering::next_round(
+    const std::vector<channel::Vec2>& positions, const std::vector<bool>& alive,
+    util::Rng& rng) {
+  return manager_.next_round(positions, alive, rng);
+}
+
+std::uint32_t RoundElectionClustering::rounds_started() const noexcept {
+  return manager_.rounds_started();
+}
+
+StaticClustering::StaticClustering(std::size_t node_count, double p)
+    : election_(node_count, p) {}
+
+std::vector<Cluster> StaticClustering::next_round(const std::vector<channel::Vec2>& positions,
+                                                  const std::vector<bool>& alive,
+                                                  util::Rng& rng) {
+  bool any_alive = false;
+  for (const bool a : alive) any_alive |= a;
+  if (!any_alive) throw std::invalid_argument("StaticClustering: all nodes dead");
+  ++rounds_;
+  if (!formed_) {
+    // The one-time election: the LEACH round-0 draw including the
+    // draft-a-CH fallback, so a layout always exists.
+    const std::vector<bool> heads = election_.elect(alive, rng);
+    layout_ = form_clusters(positions, heads, alive);
+    formed_ = true;
+  }
+  // Replay the frozen layout filtered by liveness: dead members drop
+  // out, a dead head retires its whole cluster.
+  std::vector<Cluster> current;
+  current.reserve(layout_.size());
+  for (const Cluster& cluster : layout_) {
+    if (!alive[cluster.head]) continue;
+    Cluster filtered;
+    filtered.head = cluster.head;
+    for (const std::uint32_t member : cluster.members) {
+      if (alive[member]) filtered.members.push_back(member);
+    }
+    current.push_back(std::move(filtered));
+  }
+  return current;
+}
+
+std::uint32_t StaticClustering::rounds_started() const noexcept { return rounds_; }
+
+}  // namespace caem::leach

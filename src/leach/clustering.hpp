@@ -1,0 +1,83 @@
+// clustering.hpp — pluggable cluster-formation strategies.
+//
+// The core network drives rounds through this interface: at every round
+// boundary it asks the strategy for the new cluster layout.  The classic
+// LEACH behavior (fresh CH self-election every round, RoundManager) is
+// one strategy; electing once at t=0 and replaying that layout forever
+// (the "static clustering" baseline, which isolates the energy cost of
+// re-election) is another.  Protocols select a strategy through their
+// core::ProtocolSpec; a protocol with NO strategy runs clusterless
+// (direct-to-sink uplink, handled entirely by the core network).
+//
+// Strategies are pure logic like RoundManager: no radios, no simulator —
+// unit-testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/mobility.hpp"
+#include "leach/cluster.hpp"
+#include "leach/election.hpp"
+#include "leach/round_manager.hpp"
+#include "util/rng.hpp"
+
+namespace caem::leach {
+
+class ClusteringStrategy {
+ public:
+  virtual ~ClusteringStrategy() = default;
+
+  /// Produce the cluster layout for the round starting now.  `alive[i]`
+  /// gates participation; at least one node must be alive.  May return
+  /// an empty layout (every node idles this round) — e.g. a static
+  /// strategy whose every elected head has died.
+  virtual std::vector<Cluster> next_round(const std::vector<channel::Vec2>& positions,
+                                          const std::vector<bool>& alive, util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::uint32_t rounds_started() const noexcept = 0;
+};
+
+/// Classic LEACH: a fresh CH self-election every round (RoundManager).
+/// Draw-for-draw identical to driving RoundManager directly — the
+/// regression contract that keeps legacy artifacts byte-stable.
+class RoundElectionClustering final : public ClusteringStrategy {
+ public:
+  RoundElectionClustering(std::size_t node_count, double p, double round_duration_s);
+
+  std::vector<Cluster> next_round(const std::vector<channel::Vec2>& positions,
+                                  const std::vector<bool>& alive, util::Rng& rng) override;
+  [[nodiscard]] std::uint32_t rounds_started() const noexcept override;
+
+  [[nodiscard]] const Election& election() const noexcept { return manager_.election(); }
+
+ private:
+  RoundManager manager_;
+};
+
+/// Static clustering: one LEACH election at the first round, then the
+/// same layout every round.  Members never migrate; a cluster whose head
+/// dies retires silently (its surviving members idle — exactly the
+/// failure mode re-election exists to repair, which is the point of the
+/// baseline).  If every head has died the layout is empty and the whole
+/// network idles.
+class StaticClustering final : public ClusteringStrategy {
+ public:
+  StaticClustering(std::size_t node_count, double p);
+
+  std::vector<Cluster> next_round(const std::vector<channel::Vec2>& positions,
+                                  const std::vector<bool>& alive, util::Rng& rng) override;
+  [[nodiscard]] std::uint32_t rounds_started() const noexcept override;
+
+  /// Has the one-time election happened yet?
+  [[nodiscard]] bool formed() const noexcept { return formed_; }
+  [[nodiscard]] const Election& election() const noexcept { return election_; }
+
+ private:
+  Election election_;
+  std::vector<Cluster> layout_;
+  bool formed_ = false;
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace caem::leach

@@ -26,7 +26,7 @@ namespace caem::scenario {
 
 /// Folded replications of one protocol at one grid point.
 struct ProtocolResult {
-  core::Protocol protocol = core::Protocol::kPureLeach;
+  core::Protocol protocol;  ///< default-constructs to pure-leach
   core::Replicated replicated;
 };
 

@@ -16,9 +16,16 @@ std::vector<core::Protocol> parse_protocols(const std::string& list) {
     const std::string token = util::trim(
         pos == std::string::npos ? list.substr(start) : list.substr(start, pos - start));
     if (token == "all") {
-      protocols.insert(protocols.end(), core::kAllProtocols, core::kAllProtocols + 3);
+      const std::vector<core::Protocol> paper = core::paper_protocols();
+      protocols.insert(protocols.end(), paper.begin(), paper.end());
     } else if (!token.empty()) {
-      protocols.push_back(core::protocol_from_string(token));
+      try {
+        protocols.push_back(core::protocol_from_string(token));
+      } catch (const std::invalid_argument& error) {
+        // The registry already enumerates the valid names; add the key
+        // context so a scenario-file typo points at its own line.
+        throw std::invalid_argument(std::string("scenario.protocols: ") + error.what());
+      }
     }
     if (pos == std::string::npos) break;
     start = pos + 1;

@@ -31,8 +31,9 @@ namespace caem::scenario {
 
 struct ScenarioSpec {
   std::string name = "unnamed";
-  std::vector<core::Protocol> protocols{core::kAllProtocols,
-                                        core::kAllProtocols + 3};
+  /// Resolved registry handles; `scenario.protocols` accepts any
+  /// registered name/alias, plus "all" for the paper trio.
+  std::vector<core::Protocol> protocols = core::paper_protocols();
   std::uint64_t base_seed = 2005;
   std::size_t replications = 2;
   core::RunOptions options;   ///< scenario.max_sim_s / scenario.run_to_death

@@ -85,15 +85,16 @@ TEST(NetworkConfig, OverridesValidate) {
 }
 
 TEST(Protocol, NamesRoundTrip) {
-  EXPECT_STREQ(to_string(Protocol::kPureLeach), "pure-leach");
-  EXPECT_STREQ(to_string(Protocol::kCaemScheme1), "caem-scheme1");
-  EXPECT_STREQ(to_string(Protocol::kCaemScheme2), "caem-scheme2");
-  for (const Protocol protocol : kAllProtocols) {
+  EXPECT_STREQ(to_string(protocol_from_string("leach")), "pure-leach");
+  EXPECT_STREQ(to_string(protocol_from_string("scheme1")), "caem-scheme1");
+  EXPECT_STREQ(to_string(protocol_from_string("scheme2")), "caem-scheme2");
+  for (const Protocol protocol : paper_protocols()) {
     EXPECT_EQ(protocol_from_string(to_string(protocol)), protocol);
   }
-  EXPECT_EQ(protocol_from_string("leach"), Protocol::kPureLeach);
-  EXPECT_EQ(protocol_from_string("scheme1"), Protocol::kCaemScheme1);
-  EXPECT_EQ(protocol_from_string("fixed"), Protocol::kCaemScheme2);
+  // Aliases resolve to the same handle as the canonical spelling.
+  EXPECT_EQ(protocol_from_string("leach"), protocol_from_string("pure-leach"));
+  EXPECT_EQ(protocol_from_string("adaptive"), protocol_from_string("caem-scheme1"));
+  EXPECT_EQ(protocol_from_string("fixed"), protocol_from_string("caem-scheme2"));
   EXPECT_THROW(protocol_from_string("bogus"), std::invalid_argument);
 }
 
@@ -155,10 +156,10 @@ TEST(NetworkConfig, JakesOscillatorsValidated) {
 }
 
 TEST(Protocol, PolicyMapping) {
-  EXPECT_EQ(threshold_policy_for(Protocol::kPureLeach), queueing::ThresholdPolicy::kNone);
-  EXPECT_EQ(threshold_policy_for(Protocol::kCaemScheme1),
+  EXPECT_EQ(protocol_from_string("leach").spec().policy, queueing::ThresholdPolicy::kNone);
+  EXPECT_EQ(protocol_from_string("scheme1").spec().policy,
             queueing::ThresholdPolicy::kAdaptive);
-  EXPECT_EQ(threshold_policy_for(Protocol::kCaemScheme2),
+  EXPECT_EQ(protocol_from_string("scheme2").spec().policy,
             queueing::ThresholdPolicy::kFixedHighest);
 }
 

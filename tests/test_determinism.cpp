@@ -82,7 +82,7 @@ class Determinism : public ::testing::TestWithParam<bool> {};
 
 TEST_P(Determinism, IdenticalSeedsAreByteIdentical) {
   const NetworkConfig config = small_config(GetParam());
-  for (const Protocol protocol : kAllProtocols) {
+  for (const Protocol protocol : paper_protocols()) {
     const RunResult first = run_once(config, protocol);
     const RunResult second = run_once(config, protocol);
     expect_runs_identical(first, second);
@@ -99,8 +99,8 @@ TEST(Determinism, CacheTogglesChangeOnlyTheApproximation) {
   // path (different draw pattern from cached evaluation), so the two
   // modes should not be accidentally wired to the same code path.  Both
   // still deliver traffic; only the fading sampling granularity differs.
-  const RunResult cached = run_once(small_config(true), Protocol::kCaemScheme1);
-  const RunResult exact = run_once(small_config(false), Protocol::kCaemScheme1);
+  const RunResult cached = run_once(small_config(true), protocol_from_string("scheme1"));
+  const RunResult exact = run_once(small_config(false), protocol_from_string("scheme1"));
   EXPECT_GT(cached.generated, 0u);
   EXPECT_GT(exact.generated, 0u);
   EXPECT_GT(cached.delivered_air, 0u);

@@ -50,11 +50,11 @@ TEST(ParallelRuns, MatchesSequentialSimulation) {
   RunOptions options;
   options.max_sim_s = 10.0;
   const NetworkConfig config = tiny_config();
-  const RunResult sequential = SimulationRunner::run(config, Protocol::kCaemScheme1, 5, options);
+  const RunResult sequential = SimulationRunner::run(config, protocol_from_string("scheme1"), 5, options);
   const auto parallel = parallel_runs(
       3,
       [&](std::size_t i) {
-        return SimulationRunner::run(config, Protocol::kCaemScheme1, 5 + i, options);
+        return SimulationRunner::run(config, protocol_from_string("scheme1"), 5 + i, options);
       },
       3);
   EXPECT_EQ(parallel[0].generated, sequential.generated);
@@ -124,7 +124,7 @@ TEST(RunReplicated, FoldsScalars) {
   RunOptions options;
   options.max_sim_s = 10.0;
   const Replicated summary =
-      run_replicated(tiny_config(), Protocol::kPureLeach, 100, 3, options, 3);
+      run_replicated(tiny_config(), protocol_from_string("leach"), 100, 3, options, 3);
   EXPECT_EQ(summary.runs.size(), 3u);
   EXPECT_EQ(summary.delivery_rate.count(), 3u);
   EXPECT_GT(summary.total_consumed_j.mean(), 0.0);

@@ -22,9 +22,9 @@ TEST(Forwarding, CostsEnergyAndPreservesConservation) {
   RunOptions options;
   options.max_sim_s = 25.0;
   NetworkConfig config = small_config();
-  const RunResult without = SimulationRunner::run(config, Protocol::kPureLeach, 9, options);
+  const RunResult without = SimulationRunner::run(config, protocol_from_string("leach"), 9, options);
   config.ch_forward_enabled = true;
-  const RunResult with = SimulationRunner::run(config, Protocol::kPureLeach, 9, options);
+  const RunResult with = SimulationRunner::run(config, protocol_from_string("leach"), 9, options);
   // Forwarding burns extra energy on the CHs, nothing else changes.
   EXPECT_GT(with.total_consumed_j, without.total_consumed_j);
   // Expected extra: delivered_air x aggregated bits x per-bit cost.
@@ -40,7 +40,7 @@ TEST(Forwarding, CostsEnergyAndPreservesConservation) {
 TEST(Forwarding, ConservationHoldsWithForwarding) {
   NetworkConfig config = small_config();
   config.ch_forward_enabled = true;
-  Network network(config, Protocol::kCaemScheme1, 12);
+  Network network(config, protocol_from_string("scheme1"), 12);
   network.start();
   network.simulator().run_until(20.0);
   network.finalize();
@@ -51,13 +51,16 @@ TEST(Forwarding, ConservationHoldsWithForwarding) {
 }
 
 TEST(Deadline, ProtocolPlumbing) {
-  EXPECT_STREQ(to_string(Protocol::kCaemDeadline), "caem-deadline");
-  EXPECT_EQ(protocol_from_string("deadline"), Protocol::kCaemDeadline);
-  EXPECT_EQ(threshold_policy_for(Protocol::kCaemDeadline),
-            queueing::ThresholdPolicy::kFixedHighest);
-  // Extended list includes it; the paper list does not.
-  EXPECT_EQ(std::size(kAllProtocols), 3u);
-  EXPECT_EQ(std::size(kExtendedProtocols), 4u);
+  const Protocol deadline = protocol_from_string("deadline");
+  EXPECT_STREQ(to_string(deadline), "caem-deadline");
+  EXPECT_EQ(deadline, protocol_from_string("caem-deadline"));
+  EXPECT_EQ(deadline.spec().policy, queueing::ThresholdPolicy::kFixedHighest);
+  EXPECT_TRUE(deadline.spec().deadline_override);
+  // The registry carries it as an extension; the paper trio does not.
+  EXPECT_EQ(std::size(paper_protocols()), 3u);
+  EXPECT_FALSE(deadline.spec().paper_protocol);
+  const std::vector<Protocol> all = registered_protocols();
+  EXPECT_NE(std::find(all.begin(), all.end(), deadline), all.end());
 }
 
 TEST(Deadline, ImprovesDelayOverSchemeTwo) {
@@ -70,9 +73,9 @@ TEST(Deadline, ImprovesDelayOverSchemeTwo) {
   config.traffic_rate_pps = 6.0;
   config.initial_energy_j = 1e6;
   config.csi_gate_deadline_s = 0.5;
-  const RunResult fixed = SimulationRunner::run(config, Protocol::kCaemScheme2, 31, options);
+  const RunResult fixed = SimulationRunner::run(config, protocol_from_string("scheme2"), 31, options);
   const RunResult deadline =
-      SimulationRunner::run(config, Protocol::kCaemDeadline, 31, options);
+      SimulationRunner::run(config, protocol_from_string("deadline"), 31, options);
   EXPECT_LT(deadline.mean_delay_s, fixed.mean_delay_s);
   EXPECT_GE(deadline.delivery_rate, fixed.delivery_rate - 0.02);
   EXPECT_GT(deadline.mac.deadline_overrides, 0u);
@@ -85,12 +88,12 @@ TEST(Deadline, OverridesCountedAndEnergyPremiumBounded) {
   NetworkConfig config = small_config();
   config.initial_energy_j = 1e6;
   config.csi_gate_deadline_s = 0.3;
-  const RunResult fixed = SimulationRunner::run(config, Protocol::kCaemScheme2, 13, options);
+  const RunResult fixed = SimulationRunner::run(config, protocol_from_string("scheme2"), 13, options);
   const RunResult deadline =
-      SimulationRunner::run(config, Protocol::kCaemDeadline, 13, options);
+      SimulationRunner::run(config, protocol_from_string("deadline"), 13, options);
   // The override may spend more energy than Scheme 2, but it must stay
   // well below pure LEACH (it still prefers good channels).
-  const RunResult leach = SimulationRunner::run(config, Protocol::kPureLeach, 13, options);
+  const RunResult leach = SimulationRunner::run(config, protocol_from_string("leach"), 13, options);
   EXPECT_LE(deadline.energy_per_delivered_packet_j,
             leach.energy_per_delivered_packet_j);
   EXPECT_GE(deadline.energy_per_delivered_packet_j,

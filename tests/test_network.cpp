@@ -19,7 +19,7 @@ NetworkConfig small_config() {
 }
 
 TEST(Network, RunsAndDeliversPackets) {
-  Network network(small_config(), Protocol::kPureLeach, 1);
+  Network network(small_config(), protocol_from_string("leach"), 1);
   network.start();
   network.simulator().run_until(30.0);
   network.finalize();
@@ -88,15 +88,13 @@ TEST_P(ProtocolParam, DeterministicForSameSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolParam,
-                         ::testing::Values(Protocol::kPureLeach, Protocol::kCaemScheme1,
-                                           Protocol::kCaemScheme2),
-                         [](const auto& info) {
-                           switch (info.param) {
-                             case Protocol::kPureLeach: return "PureLeach";
-                             case Protocol::kCaemScheme1: return "Scheme1";
-                             case Protocol::kCaemScheme2: return "Scheme2";
+                         ::testing::ValuesIn(paper_protocols()), [](const auto& info) {
+                           // Canonical names carry '-', not valid in test names.
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
                            }
-                           return "Unknown";
+                           return name;
                          });
 
 TEST(Network, CaemSavesEnergyVersusPureLeach) {
@@ -104,9 +102,9 @@ TEST(Network, CaemSavesEnergyVersusPureLeach) {
   RunOptions options;
   options.max_sim_s = 40.0;
   const NetworkConfig config = small_config();
-  const RunResult leach = SimulationRunner::run(config, Protocol::kPureLeach, 11, options);
-  const RunResult s1 = SimulationRunner::run(config, Protocol::kCaemScheme1, 11, options);
-  const RunResult s2 = SimulationRunner::run(config, Protocol::kCaemScheme2, 11, options);
+  const RunResult leach = SimulationRunner::run(config, protocol_from_string("leach"), 11, options);
+  const RunResult s1 = SimulationRunner::run(config, protocol_from_string("scheme1"), 11, options);
+  const RunResult s2 = SimulationRunner::run(config, protocol_from_string("scheme2"), 11, options);
   EXPECT_LT(s2.total_consumed_j, leach.total_consumed_j);
   EXPECT_LT(s1.total_consumed_j, leach.total_consumed_j);
   EXPECT_LT(s2.energy_per_delivered_packet_j, leach.energy_per_delivered_packet_j * 0.8);
@@ -118,7 +116,7 @@ TEST(Network, NodesDieAndNetworkStops) {
   RunOptions options;
   options.max_sim_s = 300.0;
   options.run_to_death = true;
-  const RunResult result = SimulationRunner::run(config, Protocol::kPureLeach, 6, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("leach"), 6, options);
   EXPECT_EQ(result.final_alive, 0u);
   EXPECT_GE(result.lifetime.first_death_s, 0.0);
   EXPECT_GE(result.lifetime.network_death_s, result.lifetime.first_death_s);
@@ -136,7 +134,7 @@ TEST(Network, AliveSeriesMonotoneNonIncreasing) {
   RunOptions options;
   options.max_sim_s = 200.0;
   options.run_to_death = true;
-  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 8, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("scheme1"), 8, options);
   double previous = static_cast<double>(config.node_count);
   for (const auto& point : result.nodes_alive.points()) {
     EXPECT_LE(point.value, previous + 1e-12);
@@ -145,7 +143,7 @@ TEST(Network, AliveSeriesMonotoneNonIncreasing) {
 }
 
 TEST(Network, RemainingEnergyTraceMonotoneNonIncreasing) {
-  Network network(small_config(), Protocol::kCaemScheme2, 9);
+  Network network(small_config(), protocol_from_string("scheme2"), 9);
   network.start();
   network.simulator().run_until(30.0);
   network.finalize();
@@ -157,7 +155,7 @@ TEST(Network, RemainingEnergyTraceMonotoneNonIncreasing) {
 }
 
 TEST(Network, StartTwiceThrows) {
-  Network network(small_config(), Protocol::kPureLeach, 1);
+  Network network(small_config(), protocol_from_string("leach"), 1);
   network.start();
   EXPECT_THROW(network.start(), std::logic_error);
 }
@@ -170,9 +168,9 @@ TEST(Network, SchemeTwoStarvesFarNodesWithoutAdaptation) {
   config.buffer_capacity = 500;  // paper: large buffers for the fairness study
   RunOptions options;
   options.max_sim_s = 60.0;
-  const RunResult fixed = SimulationRunner::run(config, Protocol::kCaemScheme2, 21, options);
+  const RunResult fixed = SimulationRunner::run(config, protocol_from_string("scheme2"), 21, options);
   const RunResult adaptive =
-      SimulationRunner::run(config, Protocol::kCaemScheme1, 21, options);
+      SimulationRunner::run(config, protocol_from_string("scheme1"), 21, options);
   EXPECT_GT(fixed.mean_queue_stddev, adaptive.mean_queue_stddev);
 }
 

@@ -27,7 +27,7 @@ TEST(NetworkEdge, ChDeathMidRoundIsSurvivable) {
   RunOptions options;
   options.max_sim_s = 200.0;
   options.run_to_death = true;
-  for (const Protocol protocol : kAllProtocols) {
+  for (const Protocol protocol : paper_protocols()) {
     const RunResult result = SimulationRunner::run(config, protocol, 17, options);
     EXPECT_EQ(result.final_alive, 0u) << to_string(protocol);
     EXPECT_EQ(result.generated, result.delivered_air + result.delivered_self +
@@ -43,7 +43,7 @@ TEST(NetworkEdge, TinyBufferOverflowsAccounted) {
   config.traffic_rate_pps = 12.0;
   RunOptions options;
   options.max_sim_s = 30.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme2, 19, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("scheme2"), 19, options);
   EXPECT_GT(result.dropped_overflow, 0u);
   EXPECT_LE(result.delivery_rate, 1.0);
 }
@@ -54,7 +54,7 @@ TEST(NetworkEdge, DeepSaturationStaysConsistent) {
   config.initial_energy_j = 1e6;
   RunOptions options;
   options.max_sim_s = 20.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kPureLeach, 23, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("leach"), 23, options);
   EXPECT_LT(result.delivery_rate, 0.9);  // must be visibly saturated
   EXPECT_GT(result.delivered_air, 0u);
 }
@@ -66,7 +66,7 @@ TEST(NetworkEdge, SingleClusterTopology) {
   config.ch_fraction = 0.01;
   RunOptions options;
   options.max_sim_s = 20.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 29, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("scheme1"), 29, options);
   EXPECT_GT(result.delivered_air, 0u);
 }
 
@@ -76,7 +76,7 @@ TEST(NetworkEdge, TwoNodeNetwork) {
   config.ch_fraction = 0.5;
   RunOptions options;
   options.max_sim_s = 20.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kPureLeach, 3, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("leach"), 3, options);
   // One CH + one sensor per round; traffic flows.
   EXPECT_GT(result.delivered_air + result.delivered_self, 0u);
 }
@@ -88,7 +88,7 @@ TEST_P(FadingKindParam, EndToEndUnderEachFadingFamily) {
   config.channel.fading_kind = GetParam();
   RunOptions options;
   options.max_sim_s = 15.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 37, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("scheme1"), 37, options);
   EXPECT_GT(result.delivered_air, 0u);
   EXPECT_GT(result.delivery_rate, 0.3);
 }
@@ -113,7 +113,7 @@ TEST_P(LoadParam, ConservationAcrossLoads) {
   config.traffic_rate_pps = GetParam();
   RunOptions options;
   options.max_sim_s = 15.0;
-  Network network(config, Protocol::kCaemScheme1, 41);
+  Network network(config, protocol_from_string("scheme1"), 41);
   network.start();
   network.simulator().run_until(options.max_sim_s);
   network.finalize();
@@ -138,7 +138,7 @@ TEST(NetworkEdge, BurstTrafficEndToEnd) {
   config.traffic_rate_pps = 8.0;
   RunOptions options;
   options.max_sim_s = 30.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 43, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("scheme1"), 43, options);
   EXPECT_GT(result.delivered_air, 0u);
   EXPECT_GT(result.generated, 100u);
 }
@@ -149,7 +149,7 @@ TEST(NetworkEdge, HighDopplerAndHighShadowing) {
   config.channel.shadowing_sigma_db = 10.0;
   RunOptions options;
   options.max_sim_s = 15.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 47, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("scheme1"), 47, options);
   // A brutal channel degrades service but must not break accounting.
   EXPECT_LE(result.delivery_rate, 1.0);
   EXPECT_GE(result.delivery_rate, 0.0);
@@ -162,7 +162,7 @@ TEST(NetworkEdge, ZeroCsiNoiseAndLargeNoise) {
     RunOptions options;
     options.max_sim_s = 15.0;
     const RunResult result =
-        SimulationRunner::run(config, Protocol::kCaemScheme2, 53, options);
+        SimulationRunner::run(config, protocol_from_string("scheme2"), 53, options);
     EXPECT_GT(result.delivered_air + result.delivered_self, 0u) << "noise=" << noise;
   }
 }
@@ -175,7 +175,7 @@ TEST(NetworkEdge, WaypointMobilityEndToEnd) {
   config.mobility_max_speed_mps = 1.0;
   RunOptions options;
   options.max_sim_s = 25.0;
-  const RunResult result = SimulationRunner::run(config, Protocol::kCaemScheme1, 61, options);
+  const RunResult result = SimulationRunner::run(config, protocol_from_string("scheme1"), 61, options);
   EXPECT_GT(result.delivered_air, 0u);
   EXPECT_GT(result.delivery_rate, 0.3);
   // Delivered + dropped can never exceed generated (the rest is queued).
@@ -196,7 +196,7 @@ TEST(NetworkEdge, MobilityValidation) {
 TEST(NetworkEdge, MacCountersAreCoherent) {
   const RunOptions options{.max_sim_s = 30.0, .run_to_death = false};
   const RunResult result =
-      SimulationRunner::run(small_config(), Protocol::kCaemScheme1, 59, options);
+      SimulationRunner::run(small_config(), protocol_from_string("scheme1"), 59, options);
   const auto& mac = result.mac;
   EXPECT_GE(mac.bursts_started, mac.bursts_completed);
   EXPECT_GE(mac.frames_sent, result.delivered_air);  // failures retried

@@ -12,7 +12,7 @@ namespace {
 
 RunResult sample_result() {
   RunResult result;
-  result.protocol = Protocol::kCaemScheme1;
+  result.protocol = protocol_from_string("scheme1");
   result.seed = 2005;
   result.sim_end_s = 599.99999999999995;  // not representable as a short decimal
   result.executed_events = 123456789012345ull;
@@ -126,7 +126,7 @@ TEST(RunResultIo, EmptySeriesRoundTrip) {
   const RunResult loaded = run_result_from_json(to_json(result));
   EXPECT_TRUE(loaded.avg_remaining_energy.empty());
   EXPECT_TRUE(loaded.nodes_alive.empty());
-  EXPECT_EQ(loaded.protocol, Protocol::kPureLeach);
+  EXPECT_EQ(loaded.protocol, protocol_from_string("leach"));
 }
 
 TEST(RunResultIo, RejectsGarbageMissingFieldsAndWrongVersion) {

@@ -131,7 +131,7 @@ TEST(Spec, ParsesScenarioKeysAndConfigOverrides) {
       "output.csv = out.csv\n"));
   EXPECT_EQ(spec.name, "demo");
   ASSERT_EQ(spec.protocols.size(), 2u);
-  EXPECT_EQ(spec.protocols[1], core::Protocol::kCaemScheme2);
+  EXPECT_EQ(spec.protocols[1], core::protocol_from_string("scheme2"));
   EXPECT_EQ(spec.base_seed, 7u);
   EXPECT_EQ(spec.replications, 3u);
   EXPECT_DOUBLE_EQ(spec.options.max_sim_s, 25.0);
@@ -212,7 +212,7 @@ ScenarioSpec tiny_spec() {
   spec.base_seed = 42;
   spec.replications = 2;
   spec.options.max_sim_s = 8.0;
-  spec.protocols = {core::Protocol::kPureLeach, core::Protocol::kCaemScheme2};
+  spec.protocols = {core::protocol_from_string("leach"), core::protocol_from_string("scheme2")};
   spec.axes = {Axis{"traffic_rate_pps", {"3", "6"}}};
   return spec;
 }
@@ -239,7 +239,7 @@ TEST(Engine, FlattenedMatchesBarrierAndRunReplicated) {
   const ScenarioResult barrier = run_scenario(spec);
   // Direct replication of one cell, outside the engine.
   const core::Replicated direct = core::run_replicated(
-      flat.points[1].config, core::Protocol::kCaemScheme2, spec.base_seed, spec.replications,
+      flat.points[1].config, core::protocol_from_string("scheme2"), spec.base_seed, spec.replications,
       spec.options);
   for (std::size_t p = 0; p < flat.points.size(); ++p) {
     for (std::size_t pr = 0; pr < flat.points[p].protocols.size(); ++pr) {
@@ -296,13 +296,13 @@ TEST(Cache, RoundTripAndMissOnAbsentOrCorrupt) {
   core::NetworkConfig config;
   core::RunOptions options;
   core::RunResult result;
-  result.protocol = core::Protocol::kCaemScheme2;
+  result.protocol = core::protocol_from_string("scheme2");
   result.seed = 7;
   result.total_consumed_j = 123.456;
   result.avg_remaining_energy.add(0.0, 10.0);
 
   const std::string path =
-      cache.entry_path(config, core::Protocol::kCaemScheme2, 7, options);
+      cache.entry_path(config, core::protocol_from_string("scheme2"), 7, options);
   EXPECT_EQ(cache.load(path), std::nullopt);  // absent
   cache.store(path, result);
   const auto loaded = cache.load(path);
@@ -311,18 +311,18 @@ TEST(Cache, RoundTripAndMissOnAbsentOrCorrupt) {
   EXPECT_EQ(loaded->seed, 7u);
 
   // The key pins protocol, seed and options: siblings stay misses.
-  EXPECT_EQ(cache.load(cache.entry_path(config, core::Protocol::kPureLeach, 7, options)),
+  EXPECT_EQ(cache.load(cache.entry_path(config, core::protocol_from_string("leach"), 7, options)),
             std::nullopt);
-  EXPECT_EQ(cache.load(cache.entry_path(config, core::Protocol::kCaemScheme2, 8, options)),
+  EXPECT_EQ(cache.load(cache.entry_path(config, core::protocol_from_string("scheme2"), 8, options)),
             std::nullopt);
   core::RunOptions longer;
   longer.max_sim_s = 999.0;
-  EXPECT_EQ(cache.load(cache.entry_path(config, core::Protocol::kCaemScheme2, 7, longer)),
+  EXPECT_EQ(cache.load(cache.entry_path(config, core::protocol_from_string("scheme2"), 7, longer)),
             std::nullopt);
   // A different config digests to a different directory.
   core::NetworkConfig edited = config;
   edited.traffic_rate_pps = 9.0;
-  EXPECT_NE(cache.entry_path(edited, core::Protocol::kCaemScheme2, 7, options), path);
+  EXPECT_NE(cache.entry_path(edited, core::protocol_from_string("scheme2"), 7, options), path);
 
   // Corruption reads as a miss, never as data.
   std::ofstream(path, std::ios::trunc) << "{\"v\":1,\"torn";

@@ -145,7 +145,7 @@ ScenarioSpec battery_spec() {
   spec.base_seed = 42;
   spec.replications = 2;
   spec.options.max_sim_s = 8.0;
-  spec.protocols = {core::Protocol::kPureLeach, core::Protocol::kCaemScheme2};
+  spec.protocols = {core::protocol_from_string("leach"), core::protocol_from_string("scheme2")};
   spec.axes = {Axis{"traffic_rate_pps", {"3", "6"}}};
   return spec;  // 2 points x 2 protocols x 2 reps = 8 jobs
 }
@@ -371,13 +371,13 @@ TEST(ShardCache, ConcurrentStoresOnOneCellNeverTearReads) {
   core::NetworkConfig config;
   core::RunOptions options;
   core::RunResult a;
-  a.protocol = core::Protocol::kCaemScheme2;
+  a.protocol = core::protocol_from_string("scheme2");
   a.seed = 1;
   a.total_consumed_j = 111.5;
   a.avg_remaining_energy.add(0.0, 10.0);
   core::RunResult b = a;
   b.total_consumed_j = 222.25;
-  const std::string path = cache.entry_path(config, core::Protocol::kCaemScheme2, 1, options);
+  const std::string path = cache.entry_path(config, core::protocol_from_string("scheme2"), 1, options);
 
   std::atomic<bool> stop{false};
   std::atomic<int> torn{0};
@@ -427,7 +427,7 @@ TEST(ShardCache, ConcurrentStoresOnOneCellNeverTearReads) {
 TEST(Shard, StatsCoherentPerShardAndMerged) {
   ScenarioSpec spec = battery_spec();
   spec.replications = 1;
-  spec.protocols = {core::Protocol::kCaemScheme2};  // 2 jobs total
+  spec.protocols = {core::protocol_from_string("scheme2")};  // 2 jobs total
   const fs::path cache_dir = scratch_dir("stats_cache");
   spec.cache_dir = cache_dir.string();
 
@@ -461,7 +461,7 @@ TEST(Shard, StatsCoherentPerShardAndMerged) {
 TEST(Shard, MergeCensusTrustsTheMajorityShardCount) {
   ScenarioSpec spec = battery_spec();
   spec.replications = 1;
-  spec.protocols = {core::Protocol::kCaemScheme2};  // 2 jobs total
+  spec.protocols = {core::protocol_from_string("scheme2")};  // 2 jobs total
   const fs::path cache_dir = scratch_dir("census_cache");
   spec.cache_dir = cache_dir.string();
 
