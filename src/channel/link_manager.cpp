@@ -6,11 +6,27 @@
 namespace caem::channel {
 
 namespace {
+
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};  // impossible: lo == hi
+constexpr std::size_t kInitialTableSize = 64;           // power of two
+
 [[nodiscard]] std::uint64_t pair_key(NodeId a, NodeId b) noexcept {
   const NodeId lo = a < b ? a : b;
   const NodeId hi = a < b ? b : a;
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
+
+// splitmix64 finaliser: pair keys are highly regular (two small ids), so
+// probe positions need real mixing.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 const char* to_string(FadingKind kind) noexcept {
@@ -35,6 +51,8 @@ LinkManager::LinkManager(ChannelConfig config, sim::RngRegistry* rng)
   if (rng_ == nullptr) throw std::invalid_argument("LinkManager: null RNG registry");
   path_loss_ = std::make_unique<LogDistancePathLoss>(config_.path_loss_exponent,
                                                      config_.path_loss_ref_db);
+  table_keys_.assign(kInitialTableSize, kEmptyKey);
+  table_slots_.assign(kInitialTableSize, 0);
 }
 
 NodeId LinkManager::add_node(std::unique_ptr<MobilityModel> mobility) {
@@ -62,29 +80,76 @@ std::unique_ptr<FadingModel> LinkManager::make_fading(const std::string& stream_
   throw std::logic_error("LinkManager: unknown fading kind");
 }
 
+std::size_t LinkManager::probe(std::uint64_t key) const noexcept {
+  const std::size_t mask = table_keys_.size() - 1;
+  std::size_t idx = static_cast<std::size_t>(mix(key)) & mask;
+  while (table_keys_[idx] != kEmptyKey && table_keys_[idx] != key) {
+    idx = (idx + 1) & mask;
+  }
+  return idx;
+}
+
+void LinkManager::grow_table() {
+  std::vector<std::uint64_t> old_keys = std::move(table_keys_);
+  std::vector<std::uint32_t> old_slots = std::move(table_slots_);
+  table_keys_.assign(old_keys.size() * 2, kEmptyKey);
+  table_slots_.assign(old_keys.size() * 2, 0);
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptyKey) continue;
+    const std::size_t idx = probe(old_keys[i]);
+    table_keys_[idx] = old_keys[i];
+    table_slots_[idx] = old_slots[i];
+  }
+}
+
 Link& LinkManager::link(NodeId a, NodeId b) {
   if (a == b) throw std::invalid_argument("LinkManager: self link");
   if (a >= nodes_.size() || b >= nodes_.size()) {
     throw std::invalid_argument("LinkManager: unknown node id");
   }
   const std::uint64_t key = pair_key(a, b);
-  auto it = links_.find(key);
-  if (it == links_.end()) {
-    const std::string tag = std::to_string(std::min(a, b)) + "-" + std::to_string(std::max(a, b));
-    GaussMarkovShadowing shadowing(config_.shadowing_sigma_db, config_.shadowing_tau_s,
-                                   rng_->make_stream("shadow/" + tag));
-    auto fading = make_fading("fading/" + tag);
-    const double cache_window_s =
-        config_.snr_cache_enabled ? fading->coherence_time_s() : 0.0;
-    auto link = std::make_unique<Link>(path_loss_.get(), nodes_[a].get(), nodes_[b].get(),
-                                       std::move(shadowing), std::move(fading),
-                                       cache_window_s);
-    it = links_.emplace(key, std::move(link)).first;
+  std::size_t idx = probe(key);
+  if (table_keys_[idx] == key) return pool_[table_slots_[idx]];
+
+  // Cold miss: one formatting pass builds the shadowing stream tag, and
+  // the fading tag reuses the buffer — "shadow" and "fading" are both
+  // six characters, so only the prefix is swapped in place.  The stream
+  // NAMES are unchanged ("shadow/<lo>-<hi>", "fading/<lo>-<hi>"), which
+  // is what keeps pre-existing seeds byte-identical.
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  std::string tag = "shadow/";
+  tag += std::to_string(lo);
+  tag += '-';
+  tag += std::to_string(hi);
+  GaussMarkovShadowing shadowing(config_.shadowing_sigma_db, config_.shadowing_tau_s,
+                                 rng_->make_stream(tag));
+  tag.replace(0, 6, "fading");
+  auto fading = make_fading(tag);
+  const double cache_window_s =
+      config_.snr_cache_enabled ? fading->coherence_time_s() : 0.0;
+  pool_.emplace_back(path_loss_.get(), nodes_[a].get(), nodes_[b].get(),
+                     std::move(shadowing), std::move(fading), cache_window_s);
+
+  table_keys_[idx] = key;
+  table_slots_[idx] = static_cast<std::uint32_t>(pool_.size() - 1);
+  if (pool_.size() * 10 >= table_keys_.size() * 7) {
+    grow_table();
   }
-  return *it->second;
+  return pool_.back();
+}
+
+bool LinkManager::in_range(NodeId a, NodeId b, double time_s) {
+  if (config_.radio_range_m <= 0.0) return true;
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::invalid_argument("LinkManager: unknown node id");
+  }
+  const double d = distance_m(nodes_[a]->position_at(time_s), nodes_[b]->position_at(time_s));
+  return d <= config_.radio_range_m;
 }
 
 double LinkManager::snr_db(NodeId a, NodeId b, double time_s, const LinkBudget& budget) {
+  if (!in_range(a, b, time_s)) return kOutOfRangeSnrDb;
   return link(a, b).snr_db(time_s, budget);
 }
 

@@ -4,11 +4,21 @@
 // creates Link objects lazily the first time a pair communicates.  Links
 // are keyed on the unordered pair so both directions share one process
 // (reciprocity).  All RNG streams are derived from the run's registry,
-// making channel realisations reproducible and independent per pair.
+// making channel realisations reproducible and independent per pair —
+// a link's draws depend only on (master seed, pair), never on creation
+// order, so lazy materialisation is bit-identical to eager.
+//
+// City-scale storage: links live in a pooled deque (stable references,
+// no per-link unique_ptr) behind an open-addressed pair->slot hash
+// table, so the per-query lookup is a mix + linear probe instead of a
+// red-black-tree descent.  With `radio_range_m` set, pairs beyond radio
+// range are never materialised at all: snr_db answers kOutOfRangeSnrDb
+// from the positions alone, which is what keeps the live link set
+// O(N * neighbors) instead of O(N^2) on large fields.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +39,10 @@ enum class FadingKind { kJakesRayleigh, kRician, kBlock };
 /// std::invalid_argument on anything else.
 [[nodiscard]] FadingKind fading_kind_from_string(const std::string& name);
 
+/// SNR reported for a pair beyond `radio_range_m`: no link exists, no
+/// link is created, nothing is receivable.
+inline constexpr double kOutOfRangeSnrDb = -1e9;
+
 /// Channel-wide configuration shared by every link in a run.
 struct ChannelConfig {
   double path_loss_exponent = 3.0;   ///< log-distance exponent (obstructed field)
@@ -44,6 +58,15 @@ struct ChannelConfig {
   /// flat by definition) instead of once per tone check.  Disable for
   /// exact per-query evaluation — bit-identical to the pre-cache code.
   bool snr_cache_enabled = true;
+  /// Radio range cutoff in metres; 0 (the default) = unlimited, the
+  /// paper's regime.  When > 0, snr_db for a pair farther apart than
+  /// this returns kOutOfRangeSnrDb WITHOUT materialising a Link — links
+  /// (and their RNG streams and fading state) exist only inside range.
+  double radio_range_m = 0.0;
+  /// Spatial-index bin size for cluster formation (see
+  /// leach::form_clusters): 0 = auto, > 0 = forced bin, < 0 = forced
+  /// brute-force scan.  All settings are bit-identical.
+  double spatial_bin_m = 0.0;
 };
 
 class LinkManager {
@@ -63,23 +86,39 @@ class LinkManager {
 
   /// The (shared, direction-free) link between two distinct nodes,
   /// created on first use.  Throws std::invalid_argument for a == b or
-  /// unknown ids.
+  /// unknown ids.  References remain valid for the manager's lifetime
+  /// (pooled storage never moves a Link).
   [[nodiscard]] Link& link(NodeId a, NodeId b);
 
-  /// Instantaneous SNR of the a<->b channel under `budget`.
+  /// Is the pair within the configured radio range at `time_s`?  Always
+  /// true when no cutoff is configured.
+  [[nodiscard]] bool in_range(NodeId a, NodeId b, double time_s);
+
+  /// Instantaneous SNR of the a<->b channel under `budget`;
+  /// kOutOfRangeSnrDb (and no link materialisation) beyond radio range.
   [[nodiscard]] double snr_db(NodeId a, NodeId b, double time_s, const LinkBudget& budget);
 
   [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }
-  [[nodiscard]] std::size_t live_link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] std::size_t live_link_count() const noexcept { return pool_.size(); }
 
  private:
   [[nodiscard]] std::unique_ptr<FadingModel> make_fading(const std::string& stream_tag);
+  /// Slot of `key` in the open-addressed table, or the empty slot where
+  /// it belongs (linear probing; table is never full).
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const noexcept;
+  void grow_table();
 
   ChannelConfig config_;
   sim::RngRegistry* rng_;
   std::unique_ptr<PathLossModel> path_loss_;
   std::vector<std::unique_ptr<MobilityModel>> nodes_;
-  std::map<std::uint64_t, std::unique_ptr<Link>> links_;
+
+  // Pair->slot open-addressed table over pooled Link storage.  The deque
+  // keeps Link addresses stable as the pool grows; the table stores
+  // pool indices and rehashes (cheap: two flat vectors) at 70% load.
+  std::deque<Link> pool_;
+  std::vector<std::uint64_t> table_keys_;
+  std::vector<std::uint32_t> table_slots_;
 };
 
 }  // namespace caem::channel

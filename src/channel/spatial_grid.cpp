@@ -1,0 +1,138 @@
+#include "channel/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace caem::channel {
+
+SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, double bin_m)
+    : points_(points), bin_m_(bin_m) {
+  if (!(bin_m > 0.0) || !std::isfinite(bin_m)) {
+    throw std::invalid_argument("SpatialGrid: bin size must be finite and > 0");
+  }
+  if (points_.empty()) {
+    offsets_.assign(2, 0);
+    return;
+  }
+  Vec2 lo = points_[0];
+  Vec2 hi = points_[0];
+  for (const Vec2& p : points_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  origin_ = lo;
+  nx_ = static_cast<std::size_t>(std::floor((hi.x - lo.x) / bin_m_)) + 1;
+  ny_ = static_cast<std::size_t>(std::floor((hi.y - lo.y) / bin_m_)) + 1;
+
+  // Two-pass counting sort into CSR; the forward fill is stable, so
+  // items inside a bin stay in ascending index order.
+  offsets_.assign(nx_ * ny_ + 1, 0);
+  std::vector<std::size_t> bin_of(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto [cx, cy] = clamped_cell(points_[i]);
+    bin_of[i] = cy * nx_ + cx;
+    ++offsets_[bin_of[i] + 1];
+  }
+  for (std::size_t b = 1; b < offsets_.size(); ++b) offsets_[b] += offsets_[b - 1];
+  items_.resize(points_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) items_[cursor[bin_of[i]]++] = i;
+}
+
+std::pair<std::int64_t, std::int64_t> SpatialGrid::cell_of(Vec2 p) const noexcept {
+  return {static_cast<std::int64_t>(std::floor((p.x - origin_.x) / bin_m_)),
+          static_cast<std::int64_t>(std::floor((p.y - origin_.y) / bin_m_))};
+}
+
+std::pair<std::size_t, std::size_t> SpatialGrid::clamped_cell(Vec2 p) const noexcept {
+  const auto [cx, cy] = cell_of(p);
+  const auto clamp = [](std::int64_t v, std::size_t n) {
+    if (v < 0) return std::size_t{0};
+    if (v >= static_cast<std::int64_t>(n)) return n - 1;
+    return static_cast<std::size_t>(v);
+  };
+  return {clamp(cx, nx_), clamp(cy, ny_)};
+}
+
+void SpatialGrid::scan_bin(std::size_t bin, Vec2 query, double& best_d,
+                           std::size_t& best_i) const {
+  for (std::size_t k = offsets_[bin]; k < offsets_[bin + 1]; ++k) {
+    const std::size_t i = items_[k];
+    const double d = distance_m(query, points_[i]);
+    // Lexicographic (distance, index) minimum == brute force's
+    // first-strictly-closer-wins over an index-ordered scan.
+    if (d < best_d || (d == best_d && i < best_i)) {
+      best_d = d;
+      best_i = i;
+    }
+  }
+}
+
+std::size_t SpatialGrid::nearest(Vec2 query) const {
+  if (points_.empty()) return npos;
+  const auto [qcx, qcy] = cell_of(query);
+
+  double best_d = std::numeric_limits<double>::infinity();
+  std::size_t best_i = npos;
+
+  // Largest ring that still intersects the grid (query cell may lie
+  // outside the grid entirely).
+  const std::int64_t max_r =
+      std::max({qcx, static_cast<std::int64_t>(nx_) - 1 - qcx, qcy,
+                static_cast<std::int64_t>(ny_) - 1 - qcy, std::int64_t{0}});
+
+  for (std::int64_t r = 0; r <= max_r; ++r) {
+    // Any cell at Chebyshev ring r from the query's lattice cell is
+    // separated from the query by at least r-1 whole bins in some axis,
+    // so its contents are >= (r-1)*bin_m away.  Strict > keeps cells
+    // whose bound EQUALS the current best in play — an equidistant
+    // lower-index candidate there must still win the tie.
+    if (best_i != npos && static_cast<double>(r - 1) * bin_m_ > best_d) break;
+
+    const std::int64_t x_lo = std::max<std::int64_t>(qcx - r, 0);
+    const std::int64_t x_hi = std::min<std::int64_t>(qcx + r, static_cast<std::int64_t>(nx_) - 1);
+    const std::int64_t y_lo = std::max<std::int64_t>(qcy - r, 0);
+    const std::int64_t y_hi = std::min<std::int64_t>(qcy + r, static_cast<std::int64_t>(ny_) - 1);
+    if (x_lo > x_hi || y_lo > y_hi) continue;
+
+    for (std::int64_t cy = y_lo; cy <= y_hi; ++cy) {
+      const bool edge_row = (cy == qcy - r || cy == qcy + r);
+      if (edge_row) {
+        for (std::int64_t cx = x_lo; cx <= x_hi; ++cx) {
+          scan_bin(static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx), query,
+                   best_d, best_i);
+        }
+      } else {
+        // Interior row of the ring: only the two side columns are new.
+        for (const std::int64_t cx : {qcx - r, qcx + r}) {
+          if (cx < x_lo || cx > x_hi) continue;
+          scan_bin(static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx), query,
+                   best_d, best_i);
+        }
+      }
+    }
+  }
+  return best_i;
+}
+
+double auto_bin_m(const std::vector<Vec2>& points) {
+  if (points.size() < 3) return 1.0;
+  Vec2 lo = points[0];
+  Vec2 hi = points[0];
+  for (const Vec2& p : points) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  const double extent = std::max(hi.x - lo.x, hi.y - lo.y);
+  if (!(extent > 0.0)) return 1.0;
+  const double side = std::ceil(std::sqrt(static_cast<double>(points.size())));
+  return extent / side;
+}
+
+}  // namespace caem::channel

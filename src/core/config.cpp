@@ -75,6 +75,9 @@ void NetworkConfig::validate() const {
   if (mobility_kind == "waypoint" && mobility_max_speed_mps <= 0.0) {
     throw std::invalid_argument("config: mobility speed must be > 0");
   }
+  if (channel.radio_range_m < 0.0) {
+    throw std::invalid_argument("config: channel.radio_range_m must be >= 0 (0 = unlimited)");
+  }
 }
 
 void NetworkConfig::apply_overrides(const util::Config& overrides) {
@@ -121,6 +124,8 @@ void NetworkConfig::apply_overrides(const util::Config& overrides) {
       "channel.jakes_oscillators", static_cast<long long>(channel.jakes_oscillators)));
   channel.snr_cache_enabled =
       overrides.get_bool("channel.snr_cache_enabled", channel.snr_cache_enabled);
+  channel.radio_range_m = overrides.get_double("channel.radio_range_m", channel.radio_range_m);
+  channel.spatial_bin_m = overrides.get_double("channel.spatial_bin_m", channel.spatial_bin_m);
   tx_power_dbm = overrides.get_double("tx_power_dbm", tx_power_dbm);
   rx_noise_figure_db = overrides.get_double("rx_noise_figure_db", rx_noise_figure_db);
   noise_bandwidth_hz = overrides.get_double("noise_bandwidth_hz", noise_bandwidth_hz);
@@ -168,7 +173,7 @@ std::string NetworkConfig::canonical_text() const {
   };
   // Version header: bump when a field is added/removed/renamed so stale
   // cache entries from older layouts can never alias a new config.
-  out << "caem-config-v1\n";
+  out << "caem-config-v2\n";
   // Simulation-semantics version: bump whenever SIMULATOR BEHAVIOR
   // changes for identical inputs (kernel reordering, RNG stream
   // changes, model fixes) even though no config or RunResult field
@@ -205,6 +210,8 @@ std::string NetworkConfig::canonical_text() const {
   put_d("channel.rician_k", channel.rician_k);
   put_u("channel.jakes_oscillators", channel.jakes_oscillators);
   put_u("channel.snr_cache_enabled", channel.snr_cache_enabled ? 1 : 0);
+  put_d("channel.radio_range_m", channel.radio_range_m);
+  put_d("channel.spatial_bin_m", channel.spatial_bin_m);
   put("mobility_kind", mobility_kind);
   put_d("mobility_max_speed_mps", mobility_max_speed_mps);
   put_d("mobility_pause_s", mobility_pause_s);

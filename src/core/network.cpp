@@ -20,7 +20,14 @@ Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
   const ProtocolSpec& spec = protocol_.spec();
   if (spec.clustering) clustering_ = spec.clustering(config_);
 
-  // Place nodes uniformly in the square field and build them.
+  // Place nodes uniformly in the square field and build them.  The hot
+  // arrays are sized FIRST: nodes and queues hold raw pointers into
+  // them, so the vectors must never reallocate afterwards.
+  hot_.alive.assign(config_.node_count, 1);
+  hot_.is_ch.assign(config_.node_count, 0);
+  hot_.queue_depth.assign(config_.node_count, 0);
+  hot_.position.assign(config_.node_count, channel::Vec2{0.0, 0.0});
+  hot_.remaining_j.assign(config_.node_count, 0.0);
   util::Rng placement = rng_.make_stream("placement");
   nodes_.reserve(config_.node_count);
   sources_.reserve(config_.node_count);
@@ -62,10 +69,18 @@ Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
           metrics_.record_drop(packet, reason, now);
         });
     // Death is deferred one event so the MAC never observes its own state
-    // being torn down mid-callback.
+    // being torn down mid-callback.  The hot alive flag flips NOW,
+    // synchronously with battery depletion, so it tracks !depleted()
+    // exactly — begin_round relies on battery-exact liveness because the
+    // deferred death event can still be queued behind it.
     node->battery().set_death_callback([this, id](double t) {
+      hot_.alive[id] = 0;
       sim_.schedule_at(t, [this, id](double now) { handle_node_death(id, now); });
     });
+    node->bind_ch_mirror(&hot_.is_ch[id]);
+    node->queue().set_depth_mirror(&hot_.queue_depth[id]);
+    hot_.position[id] = position;
+    hot_.remaining_j[id] = node->battery().remaining_j();
 
     nodes_.push_back(std::move(node));
     sources_.push_back(traffic::make_source(config_.traffic_kind, config_.traffic_rate_pps));
@@ -84,17 +99,20 @@ double Network::link_snr_db(std::uint32_t id, double time_s) {
 }
 
 std::vector<bool> Network::alive_flags() const {
-  std::vector<bool> alive(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) alive[i] = nodes_[i]->alive();
+  // Walk the contiguous hot array, not one heap Node per element.
+  std::vector<bool> alive(hot_.alive.size());
+  for (std::size_t i = 0; i < hot_.alive.size(); ++i) alive[i] = hot_.alive[i] != 0;
   return alive;
 }
 
-std::vector<channel::Vec2> Network::positions(double time_s) {
-  std::vector<channel::Vec2> out(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    out[i] = links_.mobility(static_cast<channel::NodeId>(i)).position_at(time_s);
+const std::vector<channel::Vec2>& Network::positions(double time_s) {
+  if (config_.mobility_kind == "waypoint") {
+    for (std::size_t i = 0; i < hot_.position.size(); ++i) {
+      hot_.position[i] = links_.mobility(static_cast<channel::NodeId>(i)).position_at(time_s);
+    }
   }
-  return out;
+  // Static layouts were cached at construction — nothing to refresh.
+  return hot_.position;
 }
 
 void Network::start() {
@@ -112,8 +130,10 @@ void Network::start() {
 
 void Network::close_round(double now_s) {
   // Detach sensors first so ClusterHeadMac::stop finds no active senders.
-  for (const auto& node : nodes_) {
-    if (node->alive()) node->mac().detach_round(now_s);
+  // The hot alive array gates the walk — dead nodes cost one contiguous
+  // byte load, not a pointer chase.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (hot_.alive[i]) nodes_[i]->mac().detach_round(now_s);
   }
   for (auto& cluster : active_clusters_) {
     cluster.mac->stop(now_s);
@@ -121,18 +141,18 @@ void Network::close_round(double now_s) {
     for (std::uint64_t c = 0; c < cluster.mac->collisions(); ++c) metrics_.record_collision();
   }
   active_clusters_.clear();
-  for (const auto& node : nodes_) node->set_cluster_head(false);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (hot_.is_ch[i]) nodes_[i]->set_cluster_head(false);
+  }
   current_ch_.assign(nodes_.size(), kNoCh);
 }
 
 void Network::begin_round(double now_s) {
   close_round(now_s);
-  // Check battery state directly: a node can be depleted while its
-  // deferred death event is still in the queue behind this one.
+  // The hot alive flags are battery-exact: a node can be depleted while
+  // its deferred death event is still in the queue behind this one.
   const std::vector<bool> alive = alive_flags();
-  bool any_alive = false;
-  for (const bool a : alive) any_alive |= a;
-  if (!any_alive) {
+  if (!leach::any_alive(alive)) {
     sim_.stop();
     return;
   }
@@ -188,8 +208,8 @@ void Network::schedule_arrival(std::uint32_t id) {
 }
 
 void Network::handle_arrival(std::uint32_t id, double now_s) {
+  if (!hot_.alive[id]) return;  // dead nodes stop sensing; no reschedule
   Node& node = *nodes_.at(id);
-  if (!node.alive()) return;  // dead nodes stop sensing; no reschedule
   queueing::Packet packet;
   packet.id = next_packet_id_++;
   packet.source = id;
@@ -274,11 +294,13 @@ void Network::schedule_energy_snapshot() {
 void Network::schedule_queue_snapshot() {
   sim_.schedule_in(config_.queue_snapshot_interval_s, [this](double /*now*/) {
     if (metrics_.alive_count() == 0) return;
+    // Pure SoA walk: alive, CH flag and depth all come from the three
+    // contiguous hot arrays — no Node is dereferenced.
     std::vector<double> lengths;
-    lengths.reserve(nodes_.size());
-    for (const auto& node : nodes_) {
-      if (node->alive() && !node->is_cluster_head()) {
-        lengths.push_back(static_cast<double>(node->queue().size()));
+    lengths.reserve(hot_.alive.size());
+    for (std::size_t i = 0; i < hot_.alive.size(); ++i) {
+      if (hot_.alive[i] && !hot_.is_ch[i]) {
+        lengths.push_back(static_cast<double>(hot_.queue_depth[i]));
       }
     }
     metrics_.snapshot_queues(lengths);
@@ -287,14 +309,14 @@ void Network::schedule_queue_snapshot() {
 }
 
 std::vector<double> Network::remaining_energy_j() const {
-  // settle() so time-in-state up to "now" is integrated exactly.
+  // settle() so time-in-state up to "now" is integrated exactly; the
+  // result is also kept in the hot mirror for cache-linear readers.
   const double now = sim_.now();
-  std::vector<double> remaining(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i]->settle(now);
-    remaining[i] = nodes_[i]->battery().remaining_j();
+    hot_.remaining_j[i] = nodes_[i]->battery().remaining_j();
   }
-  return remaining;
+  return hot_.remaining_j;
 }
 
 double Network::total_consumed_j() const noexcept {

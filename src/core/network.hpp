@@ -28,6 +28,21 @@
 
 namespace caem::core {
 
+/// Per-node hot state mirrored into structure-of-arrays form: the fields
+/// the round/census/snapshot paths touch for EVERY node, packed
+/// contiguously so those walks are cache-linear at 10k-100k nodes
+/// instead of chasing one heap-allocated Node per element.  Nodes (and
+/// their queues) update their slots on state transitions through bound
+/// mirror pointers; the per-node objects remain the source of truth for
+/// everything else.
+struct NodeHotState {
+  std::vector<std::uint8_t> alive;        ///< battery-exact (death callback)
+  std::vector<std::uint8_t> is_ch;        ///< CH flag for the current round
+  std::vector<std::uint32_t> queue_depth; ///< transmit-buffer occupancy
+  std::vector<channel::Vec2> position;    ///< cached for static mobility
+  std::vector<double> remaining_j;        ///< refreshed by energy snapshots
+};
+
 class Network {
  public:
   Network(NetworkConfig config, Protocol protocol, std::uint64_t seed);
@@ -83,6 +98,11 @@ class Network {
   /// Remaining energy per node (J).
   [[nodiscard]] std::vector<double> remaining_energy_j() const;
 
+  /// The SoA hot-state mirror (alive, CH flag, queue depth, position,
+  /// residual energy).  alive/is_ch/queue_depth are live; remaining_j is
+  /// refreshed by remaining_energy_j(), position by positions().
+  [[nodiscard]] const NodeHotState& hot_state() const noexcept { return hot_; }
+
  private:
   struct ActiveCluster {
     std::uint32_t head = 0;
@@ -103,8 +123,9 @@ class Network {
   [[nodiscard]] double link_snr_db(std::uint32_t id, double time_s);
   [[nodiscard]] std::vector<bool> alive_flags() const;
   /// Node positions at a given time (mobility-aware; used for cluster
-  /// formation at round boundaries).
-  [[nodiscard]] std::vector<channel::Vec2> positions(double time_s);
+  /// formation at round boundaries).  Static layouts are cached once at
+  /// construction; waypoint mobility refreshes the hot buffer in place.
+  [[nodiscard]] const std::vector<channel::Vec2>& positions(double time_s);
 
   static constexpr std::uint32_t kNoCh = 0xFFFFFFFFu;
 
@@ -122,6 +143,11 @@ class Network {
   std::unique_ptr<leach::ClusteringStrategy> clustering_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Sized before node construction and never resized, so the mirror
+  // pointers handed to nodes/queues stay valid for the network's
+  // lifetime.  Mutable: const metric reads refresh the energy mirror,
+  // mirroring the settle() convention above.
+  mutable NodeHotState hot_;
   std::vector<std::unique_ptr<traffic::TrafficSource>> sources_;
   std::vector<std::uint32_t> current_ch_;
   std::vector<ActiveCluster> active_clusters_;

@@ -63,7 +63,17 @@ class Node {
 
   /// Whether this node serves as a cluster head in the current round.
   [[nodiscard]] bool is_cluster_head() const noexcept { return is_ch_; }
-  void set_cluster_head(bool is_ch) noexcept { is_ch_ = is_ch; }
+  void set_cluster_head(bool is_ch) noexcept {
+    is_ch_ = is_ch;
+    if (ch_mirror_) *ch_mirror_ = is_ch ? 1 : 0;
+  }
+
+  /// Mirror the CH flag into an externally owned slot (the network's SoA
+  /// hot-state array).  The slot must outlive the node.
+  void bind_ch_mirror(std::uint8_t* slot) noexcept {
+    ch_mirror_ = slot;
+    if (slot) *slot = is_ch_ ? 1 : 0;
+  }
 
  private:
   std::uint32_t id_;
@@ -77,6 +87,7 @@ class Node {
   tone::ToneMonitor monitor_;
   std::unique_ptr<mac::SensorMac> mac_;
   bool is_ch_ = false;
+  std::uint8_t* ch_mirror_ = nullptr;
 };
 
 }  // namespace caem::core

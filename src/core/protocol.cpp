@@ -16,13 +16,15 @@ namespace {
 ProtocolSpec::ClusteringFactory leach_rounds() {
   return [](const NetworkConfig& config) -> std::unique_ptr<leach::ClusteringStrategy> {
     return std::make_unique<leach::RoundElectionClustering>(
-        config.node_count, config.ch_fraction, config.round_duration_s);
+        config.node_count, config.ch_fraction, config.round_duration_s,
+        config.channel.spatial_bin_m);
   };
 }
 
 ProtocolSpec::ClusteringFactory static_once() {
   return [](const NetworkConfig& config) -> std::unique_ptr<leach::ClusteringStrategy> {
-    return std::make_unique<leach::StaticClustering>(config.node_count, config.ch_fraction);
+    return std::make_unique<leach::StaticClustering>(config.node_count, config.ch_fraction,
+                                                     config.channel.spatial_bin_m);
   };
 }
 

@@ -3,34 +3,62 @@
 #include <limits>
 #include <stdexcept>
 
+#include "channel/spatial_grid.hpp"
+
 namespace caem::leach {
+
+namespace {
+
+// Below this many alive heads the ring search cannot beat a linear scan
+// of the head list, so auto mode stays brute-force.
+constexpr std::size_t kAutoSpatialMinHeads = 8;
+
+}  // namespace
 
 std::vector<Cluster> form_clusters(const std::vector<channel::Vec2>& positions,
                                    const std::vector<bool>& is_head,
-                                   const std::vector<bool>& alive) {
+                                   const std::vector<bool>& alive, double spatial_bin_m) {
   const std::size_t n = positions.size();
   if (is_head.size() != n || alive.size() != n) {
     throw std::invalid_argument("form_clusters: size mismatch");
   }
   std::vector<Cluster> clusters;
-  std::vector<std::size_t> cluster_of_head(n, SIZE_MAX);
   for (std::size_t i = 0; i < n; ++i) {
-    if (alive[i] && is_head[i]) {
-      cluster_of_head[i] = clusters.size();
-      clusters.push_back(Cluster{static_cast<std::uint32_t>(i), {}});
-    }
+    if (alive[i] && is_head[i]) clusters.push_back(Cluster{static_cast<std::uint32_t>(i), {}});
   }
   if (clusters.empty()) throw std::invalid_argument("form_clusters: no alive cluster head");
+
+  const bool use_spatial =
+      spatial_bin_m > 0.0 ||
+      (spatial_bin_m == 0.0 && clusters.size() >= kAutoSpatialMinHeads);
+
+  if (use_spatial) {
+    // Index only the alive heads: cluster index == insertion index, and
+    // heads were collected in ascending node id, so the grid's
+    // (distance, index) tie-break reproduces the brute-force winner.
+    std::vector<channel::Vec2> head_positions;
+    head_positions.reserve(clusters.size());
+    for (const Cluster& cluster : clusters) head_positions.push_back(positions[cluster.head]);
+    const double bin_m =
+        spatial_bin_m > 0.0 ? spatial_bin_m : channel::auto_bin_m(head_positions);
+    const channel::SpatialGrid grid(head_positions, bin_m);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i] || is_head[i]) continue;
+      const std::size_t best_cluster = grid.nearest(positions[i]);
+      clusters[best_cluster].members.push_back(static_cast<std::uint32_t>(i));
+    }
+    return clusters;
+  }
 
   for (std::size_t i = 0; i < n; ++i) {
     if (!alive[i] || is_head[i]) continue;
     double best = std::numeric_limits<double>::infinity();
     std::size_t best_cluster = 0;
-    for (const auto& cluster : clusters) {
-      const double d = channel::distance_m(positions[i], positions[cluster.head]);
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      const double d = channel::distance_m(positions[i], positions[clusters[c].head]);
       if (d < best) {
         best = d;
-        best_cluster = static_cast<std::size_t>(&cluster - clusters.data());
+        best_cluster = c;
       }
     }
     clusters[best_cluster].members.push_back(static_cast<std::uint32_t>(i));

@@ -6,6 +6,13 @@
 // second-order for the energy questions studied here and is noted in
 // DESIGN.md).  Different clusters operate in different frequency bands
 // (paper Section IV), so clusters are fully independent MAC domains.
+//
+// Two assignment paths exist: the O(N*H) brute-force scan and a
+// channel::SpatialGrid expanding-ring search over the alive heads.  They
+// are bit-identical (same members, same heads, same tie-breaks — the
+// grid's nearest() minimises (distance, cluster index) lexicographically,
+// exactly what the index-ordered strict-< scan computes), so which one
+// runs is purely a performance choice; `spatial_bin_m` selects it.
 #pragma once
 
 #include <cstdint>
@@ -22,13 +29,29 @@ struct Cluster {
   [[nodiscard]] std::size_t size() const noexcept { return members.size() + 1; }
 };
 
+/// Is at least one node alive?  The one shared liveness scan — round
+/// sequencing and clustering strategies all funnel through here instead
+/// of each re-walking the flag vector.
+[[nodiscard]] inline bool any_alive(const std::vector<bool>& alive) noexcept {
+  for (const bool a : alive) {
+    if (a) return true;
+  }
+  return false;
+}
+
 /// Partition nodes into clusters around the flagged heads.
 /// @param positions  node positions at formation time
 /// @param is_head    CH flags (size == positions.size())
 /// @param alive      liveness flags; dead nodes are skipped entirely
+/// @param spatial_bin_m  assignment-path selector: 0 (default) picks the
+///     spatial grid with an auto bin size once there are enough heads to
+///     amortise the build; > 0 forces the grid with that bin size; < 0
+///     forces the brute-force scan.  All settings produce bit-identical
+///     clusters — this knob only trades build overhead against scan cost.
 /// Requires at least one alive head; throws std::invalid_argument otherwise.
 [[nodiscard]] std::vector<Cluster> form_clusters(const std::vector<channel::Vec2>& positions,
                                                  const std::vector<bool>& is_head,
-                                                 const std::vector<bool>& alive);
+                                                 const std::vector<bool>& alive,
+                                                 double spatial_bin_m = 0.0);
 
 }  // namespace caem::leach

@@ -5,8 +5,8 @@
 namespace caem::leach {
 
 RoundElectionClustering::RoundElectionClustering(std::size_t node_count, double p,
-                                                double round_duration_s)
-    : manager_(node_count, p, round_duration_s) {}
+                                                double round_duration_s, double spatial_bin_m)
+    : manager_(node_count, p, round_duration_s, spatial_bin_m) {}
 
 std::vector<Cluster> RoundElectionClustering::next_round(
     const std::vector<channel::Vec2>& positions, const std::vector<bool>& alive,
@@ -18,21 +18,19 @@ std::uint32_t RoundElectionClustering::rounds_started() const noexcept {
   return manager_.rounds_started();
 }
 
-StaticClustering::StaticClustering(std::size_t node_count, double p)
-    : election_(node_count, p) {}
+StaticClustering::StaticClustering(std::size_t node_count, double p, double spatial_bin_m)
+    : election_(node_count, p), spatial_bin_m_(spatial_bin_m) {}
 
 std::vector<Cluster> StaticClustering::next_round(const std::vector<channel::Vec2>& positions,
                                                   const std::vector<bool>& alive,
                                                   util::Rng& rng) {
-  bool any_alive = false;
-  for (const bool a : alive) any_alive |= a;
-  if (!any_alive) throw std::invalid_argument("StaticClustering: all nodes dead");
+  if (!any_alive(alive)) throw std::invalid_argument("StaticClustering: all nodes dead");
   ++rounds_;
   if (!formed_) {
     // The one-time election: the LEACH round-0 draw including the
     // draft-a-CH fallback, so a layout always exists.
     const std::vector<bool> heads = election_.elect(alive, rng);
-    layout_ = form_clusters(positions, heads, alive);
+    layout_ = form_clusters(positions, heads, alive, spatial_bin_m_);
     formed_ = true;
   }
   // Replay the frozen layout filtered by liveness: dead members drop

@@ -43,7 +43,11 @@ class ClusteringStrategy {
 /// regression contract that keeps legacy artifacts byte-stable.
 class RoundElectionClustering final : public ClusteringStrategy {
  public:
-  RoundElectionClustering(std::size_t node_count, double p, double round_duration_s);
+  /// `spatial_bin_m` selects the cluster-assignment path (see
+  /// form_clusters); every setting is bit-identical, so the default auto
+  /// mode is always safe.
+  RoundElectionClustering(std::size_t node_count, double p, double round_duration_s,
+                          double spatial_bin_m = 0.0);
 
   std::vector<Cluster> next_round(const std::vector<channel::Vec2>& positions,
                                   const std::vector<bool>& alive, util::Rng& rng) override;
@@ -63,7 +67,7 @@ class RoundElectionClustering final : public ClusteringStrategy {
 /// network idles.
 class StaticClustering final : public ClusteringStrategy {
  public:
-  StaticClustering(std::size_t node_count, double p);
+  StaticClustering(std::size_t node_count, double p, double spatial_bin_m = 0.0);
 
   std::vector<Cluster> next_round(const std::vector<channel::Vec2>& positions,
                                   const std::vector<bool>& alive, util::Rng& rng) override;
@@ -75,6 +79,7 @@ class StaticClustering final : public ClusteringStrategy {
 
  private:
   Election election_;
+  double spatial_bin_m_;
   std::vector<Cluster> layout_;
   bool formed_ = false;
   std::uint32_t rounds_ = 0;

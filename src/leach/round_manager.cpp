@@ -4,8 +4,10 @@
 
 namespace caem::leach {
 
-RoundManager::RoundManager(std::size_t node_count, double p, double round_duration_s)
-    : election_(node_count, p), round_duration_s_(round_duration_s) {
+RoundManager::RoundManager(std::size_t node_count, double p, double round_duration_s,
+                           double spatial_bin_m)
+    : election_(node_count, p), round_duration_s_(round_duration_s),
+      spatial_bin_m_(spatial_bin_m) {
   if (round_duration_s <= 0.0) {
     throw std::invalid_argument("RoundManager: round duration must be > 0");
   }
@@ -13,12 +15,12 @@ RoundManager::RoundManager(std::size_t node_count, double p, double round_durati
 
 std::vector<Cluster> RoundManager::next_round(const std::vector<channel::Vec2>& positions,
                                               const std::vector<bool>& alive, util::Rng& rng) {
-  bool any_alive = false;
-  for (const bool a : alive) any_alive |= a;
-  if (!any_alive) throw std::invalid_argument("RoundManager: all nodes dead");
+  // No dedicated any-alive pre-scan: an all-dead network elects no heads
+  // and form_clusters throws the contract's invalid_argument.  (The
+  // network checks leach::any_alive once per round before calling in.)
   const std::vector<bool> heads = election_.elect(alive, rng);
   ++rounds_;
-  return form_clusters(positions, heads, alive);
+  return form_clusters(positions, heads, alive, spatial_bin_m_);
 }
 
 }  // namespace caem::leach

@@ -19,7 +19,10 @@ namespace caem::leach {
 
 class RoundManager {
  public:
-  RoundManager(std::size_t node_count, double p, double round_duration_s);
+  /// `spatial_bin_m` selects the cluster-assignment path (see
+  /// form_clusters): 0 auto, > 0 forced grid bin, < 0 forced brute force.
+  RoundManager(std::size_t node_count, double p, double round_duration_s,
+               double spatial_bin_m = 0.0);
 
   /// Begin the next round at `positions`/`alive`; returns the clusters.
   /// Throws if no node is alive.
@@ -33,6 +36,7 @@ class RoundManager {
  private:
   Election election_;
   double round_duration_s_;
+  double spatial_bin_m_;
   std::uint32_t rounds_ = 0;
 };
 

@@ -11,13 +11,20 @@ bool PacketQueue::push(const Packet& packet, double now_s) {
     if (on_overflow_) on_overflow_(packet, now_s);
     return false;
   }
+  sync_mirror();
   return true;
 }
 
-Packet PacketQueue::pop() { return buffer_.pop(); }
+Packet PacketQueue::pop() {
+  Packet packet = buffer_.pop();
+  sync_mirror();
+  return packet;
+}
 
 bool PacketQueue::requeue_front(const Packet& packet) {
-  return buffer_.try_push_front(packet);
+  const bool ok = buffer_.try_push_front(packet);
+  if (ok) sync_mirror();
+  return ok;
 }
 
 void PacketQueue::drain(const std::function<void(const Packet&)>& sink) {
@@ -25,6 +32,7 @@ void PacketQueue::drain(const std::function<void(const Packet&)>& sink) {
     const Packet packet = buffer_.pop();
     if (sink) sink(packet);
   }
+  sync_mirror();
 }
 
 }  // namespace caem::queueing

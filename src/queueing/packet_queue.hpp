@@ -49,15 +49,29 @@ class PacketQueue {
 
   void set_overflow_callback(OverflowCallback callback) { on_overflow_ = std::move(callback); }
 
+  /// Mirror the queue depth into an externally owned slot (the network's
+  /// SoA hot-state array) on every mutation, so census paths can walk a
+  /// contiguous array instead of chasing per-node pointers.  Pass nullptr
+  /// to unbind.  The slot must outlive the queue (or be unbound first).
+  void set_depth_mirror(std::uint32_t* slot) noexcept {
+    depth_mirror_ = slot;
+    if (slot) *slot = static_cast<std::uint32_t>(buffer_.size());
+  }
+
   /// Drop every queued packet (node death / end of run), invoking
   /// `sink(packet)` for each so the caller can account for them.
   void drain(const std::function<void(const Packet&)>& sink);
 
  private:
+  void sync_mirror() noexcept {
+    if (depth_mirror_) *depth_mirror_ = static_cast<std::uint32_t>(buffer_.size());
+  }
+
   util::RingBuffer<Packet> buffer_;
   std::uint64_t arrivals_ = 0;
   std::uint64_t overflow_drops_ = 0;
   OverflowCallback on_overflow_;
+  std::uint32_t* depth_mirror_ = nullptr;
 };
 
 }  // namespace caem::queueing

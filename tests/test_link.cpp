@@ -100,6 +100,81 @@ TEST_F(LinkTest, DeterministicAcrossManagers) {
   }
 }
 
+TEST(LinkRange, OutOfRangePairsNeverMaterialise) {
+  sim::RngRegistry rng(42);
+  ChannelConfig config;
+  config.radio_range_m = 50.0;
+  LinkManager links(config, &rng);
+  const NodeId a = links.add_static_node({0, 0});
+  const NodeId b = links.add_static_node({200, 0});
+  const NodeId c = links.add_static_node({30, 0});
+  const LinkBudget budget{0.0, -101.0};
+
+  EXPECT_FALSE(links.in_range(a, b, 0.0));
+  EXPECT_EQ(links.snr_db(a, b, 0.0, budget), kOutOfRangeSnrDb);
+  EXPECT_EQ(links.live_link_count(), 0u);  // no Link was created
+
+  EXPECT_TRUE(links.in_range(a, c, 0.0));
+  EXPECT_TRUE(std::isfinite(links.snr_db(a, c, 0.0, budget)));
+  EXPECT_EQ(links.live_link_count(), 1u);
+}
+
+TEST(LinkRange, BoundaryIsInclusiveAndZeroMeansUnlimited) {
+  sim::RngRegistry rng(42);
+  ChannelConfig ranged;
+  ranged.radio_range_m = 50.0;
+  LinkManager links(ranged, &rng);
+  const NodeId a = links.add_static_node({0, 0});
+  const NodeId b = links.add_static_node({50, 0});  // exactly at the cutoff
+  EXPECT_TRUE(links.in_range(a, b, 0.0));
+
+  sim::RngRegistry rng2(42);
+  LinkManager unlimited(ChannelConfig{}, &rng2);  // default: range 0
+  const NodeId u = unlimited.add_static_node({0, 0});
+  const NodeId v = unlimited.add_static_node({1e7, 0});
+  EXPECT_TRUE(unlimited.in_range(u, v, 0.0));
+}
+
+TEST(LinkRange, RangeCutoffPreservesDrawsForInRangePairs) {
+  // The cutoff must not perturb the RNG streams of pairs that DO link:
+  // per-pair streams are keyed by name, not creation order.
+  sim::RngRegistry rng_a(7);
+  LinkManager plain(ChannelConfig{}, &rng_a);
+  sim::RngRegistry rng_b(7);
+  ChannelConfig ranged;
+  ranged.radio_range_m = 100.0;
+  LinkManager cut(ranged, &rng_b);
+  const LinkBudget budget{0.0, -101.0};
+  for (const Vec2 p : {Vec2{0, 0}, Vec2{40, 0}, Vec2{500, 0}}) {
+    plain.add_static_node(p);
+    cut.add_static_node(p);
+  }
+  // Node 2 is out of range of both others in `cut` (never links there)
+  // but links fine in `plain` — pair 0-1 must still agree exactly.
+  (void)plain.snr_db(0, 2, 0.0, budget);
+  for (double t = 0.0; t < 3.0; t += 0.5) {
+    EXPECT_EQ(plain.snr_db(0, 1, t, budget), cut.snr_db(0, 1, t, budget));
+  }
+}
+
+TEST(LinkPool, ReferencesStableAcrossTableGrowth) {
+  // The pair table rehashes as links accumulate; Link references handed
+  // out earlier must survive (pooled storage never moves).
+  sim::RngRegistry rng(11);
+  LinkManager links(ChannelConfig{}, &rng);
+  for (int i = 0; i < 40; ++i) {
+    links.add_static_node({static_cast<double>(i), 0.0});
+  }
+  Link& first = links.link(0, 1);
+  const double d0 = first.distance_m_at(0.0);
+  for (NodeId a = 0; a < 40; ++a) {
+    for (NodeId b = a + 1; b < 40; ++b) (void)links.link(a, b);
+  }
+  EXPECT_EQ(links.live_link_count(), 40u * 39u / 2u);
+  EXPECT_EQ(&links.link(0, 1), &first);
+  EXPECT_DOUBLE_EQ(first.distance_m_at(0.0), d0);
+}
+
 TEST(LinkManagerKinds, AllFadingKindsConstruct) {
   sim::RngRegistry rng(1);
   for (const FadingKind kind :

@@ -154,6 +154,35 @@ TEST(Network, RemainingEnergyTraceMonotoneNonIncreasing) {
   }
 }
 
+TEST(Network, HotStateMirrorsPerNodeState) {
+  // The SoA hot arrays must agree with the per-node objects at any
+  // observation point — including after deaths, round rotations and
+  // queue churn.
+  NetworkConfig config = small_config();
+  config.initial_energy_j = 0.02;  // force some deaths within the horizon
+  Network network(config, protocol_from_string("caem-scheme1"), 5);
+  network.start();
+  for (const double t : {7.0, 19.0, 40.0}) {
+    network.simulator().run_until(t);
+    const NodeHotState& hot = network.hot_state();
+    ASSERT_EQ(hot.alive.size(), network.node_count());
+    for (std::size_t i = 0; i < network.node_count(); ++i) {
+      const Node& node = network.node(i);
+      EXPECT_EQ(hot.alive[i] != 0, node.alive()) << "t=" << t << " node " << i;
+      EXPECT_EQ(hot.is_ch[i] != 0, node.is_cluster_head()) << "t=" << t << " node " << i;
+      EXPECT_EQ(hot.queue_depth[i], node.queue().size()) << "t=" << t << " node " << i;
+      EXPECT_DOUBLE_EQ(hot.position[i].x, node.position().x) << "node " << i;
+    }
+  }
+  network.finalize();
+  // remaining_energy_j refreshes the energy mirror in place.
+  const std::vector<double> remaining = network.remaining_energy_j();
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(network.hot_state().remaining_j[i], remaining[i]) << "node " << i;
+    EXPECT_DOUBLE_EQ(remaining[i], network.node(i).battery().remaining_j()) << "node " << i;
+  }
+}
+
 TEST(Network, StartTwiceThrows) {
   Network network(small_config(), protocol_from_string("leach"), 1);
   network.start();

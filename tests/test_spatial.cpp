@@ -1,0 +1,157 @@
+// Tests for the spatial index and the city-scale fast paths it feeds:
+// SpatialGrid unit behavior (exact tie-breaks, out-of-box queries,
+// inclusive radius), the spatial-vs-brute form_clusters equivalence
+// property, and the seed-2005 regression that the spatial path and the
+// radio-range machinery leave whole-run results byte-identical.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "channel/spatial_grid.hpp"
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "core/run_result_io.hpp"
+#include "core/simulation_runner.hpp"
+#include "leach/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace caem;
+using channel::SpatialGrid;
+using channel::Vec2;
+
+TEST(SpatialGrid, EmptyReturnsNpos) {
+  const SpatialGrid grid(std::vector<Vec2>{}, 10.0);
+  EXPECT_EQ(grid.nearest({0.0, 0.0}), SpatialGrid::npos);
+  std::size_t visited = 0;
+  grid.for_each_in_range({0.0, 0.0}, 100.0, [&](std::size_t, double) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(SpatialGrid, RejectsNonPositiveBin) {
+  const std::vector<Vec2> points{{0.0, 0.0}};
+  EXPECT_THROW(SpatialGrid(points, 0.0), std::invalid_argument);
+  EXPECT_THROW(SpatialGrid(points, -1.0), std::invalid_argument);
+}
+
+TEST(SpatialGrid, NearestFindsObviousWinner) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {50.0, 50.0}, {10.0, 0.0}};
+  const SpatialGrid grid(points, 5.0);
+  EXPECT_EQ(grid.nearest({1.0, 0.0}), 0u);
+  EXPECT_EQ(grid.nearest({49.0, 50.0}), 1u);
+  EXPECT_EQ(grid.nearest({9.0, 0.0}), 2u);
+}
+
+TEST(SpatialGrid, TiesBreakTowardLowestIndex) {
+  // Two points equidistant from the query, listed in both orders; the
+  // lower index must win regardless of bin geometry.
+  const std::vector<Vec2> points{{-10.0, 0.0}, {10.0, 0.0}, {0.0, 30.0}};
+  for (const double bin : {1.0, 7.0, 100.0}) {
+    const SpatialGrid grid(points, bin);
+    EXPECT_EQ(grid.nearest({0.0, 0.0}), 0u) << "bin " << bin;
+  }
+  // All points identical: still the lowest index.
+  const std::vector<Vec2> same(5, Vec2{3.0, 3.0});
+  EXPECT_EQ(SpatialGrid(same, 2.0).nearest({0.0, 0.0}), 0u);
+}
+
+TEST(SpatialGrid, QueriesOutsideBoundingBoxAreExact) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {100.0, 0.0}, {100.0, 100.0}, {0.0, 100.0}};
+  const SpatialGrid grid(points, 10.0);
+  EXPECT_EQ(grid.nearest({-500.0, -500.0}), 0u);
+  EXPECT_EQ(grid.nearest({600.0, -1.0}), 1u);
+  EXPECT_EQ(grid.nearest({101.0, 150.0}), 2u);
+  EXPECT_EQ(grid.nearest({-3.0, 99.0}), 3u);
+}
+
+TEST(SpatialGrid, RadiusQueryIsInclusiveAndExact) {
+  const std::vector<Vec2> points{{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}, {30.0, 0.0}};
+  const SpatialGrid grid(points, 2.5);
+  std::vector<std::size_t> hits;
+  grid.for_each_in_range({0.0, 0.0}, 5.0, [&](std::size_t i, double d) {
+    hits.push_back(i);
+    EXPECT_DOUBLE_EQ(d, channel::distance_m({0.0, 0.0}, points[i]));
+  });
+  // Exactly-on-boundary point (distance 5) must be included; (6,8) at
+  // distance 10 and the far point must not.
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 1u);
+}
+
+TEST(AnyAlive, Basics) {
+  EXPECT_FALSE(leach::any_alive({}));
+  EXPECT_FALSE(leach::any_alive({false, false}));
+  EXPECT_TRUE(leach::any_alive({false, true, false}));
+}
+
+// ---------------------------------------------------------------- property
+
+// Random layouts with dead nodes and dead heads: the spatial path must
+// reproduce the brute-force clustering EXACTLY — same heads, same
+// members in the same order — for every forced/auto mode.
+TEST(SpatialClusters, MatchesBruteForceOnRandomLayouts) {
+  util::Rng rng(0xC1757Cu);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{37},
+                              std::size_t{500}, std::size_t{5000}}) {
+    const double field = 100.0 * std::sqrt(static_cast<double>(n) / 100.0 + 1.0);
+    std::vector<Vec2> positions(n);
+    std::vector<bool> alive(n), heads(n, false);
+    bool have_live_head = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      positions[i] = {rng.uniform(0.0, field), rng.uniform(0.0, field)};
+      alive[i] = rng.uniform(0.0, 1.0) > 0.15;  // ~15% dead
+      // ~10% heads; some land on dead nodes on purpose (dead heads must
+      // be ignored identically by both paths).
+      heads[i] = rng.uniform(0.0, 1.0) < 0.1;
+      have_live_head |= (heads[i] && alive[i]);
+    }
+    if (!have_live_head) {  // the contract needs one live head
+      alive[0] = true;
+      heads[0] = true;
+    }
+
+    const auto brute = leach::form_clusters(positions, heads, alive, -1.0);
+    for (const double mode : {0.0, 3.7, 25.0, 1000.0}) {  // auto + forced bins
+      const auto spatial = leach::form_clusters(positions, heads, alive, mode);
+      ASSERT_EQ(spatial.size(), brute.size()) << "n=" << n << " bin=" << mode;
+      for (std::size_t c = 0; c < brute.size(); ++c) {
+        EXPECT_EQ(spatial[c].head, brute[c].head) << "n=" << n << " bin=" << mode;
+        EXPECT_EQ(spatial[c].members, brute[c].members)
+            << "n=" << n << " bin=" << mode << " cluster " << c;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- regression
+
+// Seed-2005 whole-run regression at paper scale: forcing the spatial
+// path (and a radio range generous enough to cover the field) must
+// leave the serialized RunResult byte-identical to forced brute force
+// with unlimited range — artifacts, not just summary stats.
+TEST(SpatialClusters, Seed2005RunResultsByteIdentical) {
+  core::NetworkConfig config;
+  config.node_count = 60;
+  core::RunOptions options;
+  options.max_sim_s = 120.0;
+  const core::Protocol protocol = core::protocol_from_string("caem-scheme1");
+
+  core::NetworkConfig brute = config;
+  brute.channel.spatial_bin_m = -1.0;  // forced brute force, unlimited range
+  const std::string reference =
+      core::to_json(core::SimulationRunner::run(brute, protocol, 2005, options));
+
+  core::NetworkConfig spatial = config;
+  spatial.channel.spatial_bin_m = 10.0;  // forced grid
+  spatial.channel.radio_range_m = 10000.0;  // cutoff armed but never binding
+  const std::string with_spatial =
+      core::to_json(core::SimulationRunner::run(spatial, protocol, 2005, options));
+
+  EXPECT_EQ(reference, with_spatial);
+}
+
+}  // namespace
