@@ -1,0 +1,209 @@
+// bench_routing — acceptance harness for the routed-uplink layer.
+//
+// Two guarantees, both enforced by the exit code:
+//
+//   1. Zero overhead for DirectUplink: a runtime-registered protocol
+//      whose spec pins DirectUplink over the legacy virtual sink runs
+//      the SAME physics as the legacy clusterless fast path — every
+//      traffic/energy counter must match exactly, and wall clock must
+//      stay within a noise margin of the legacy run.
+//   2. Greedy routing earns its keep: on a corner-sink field where part
+//      of the network cannot reach the sink in one hop, greedy must
+//      deliver strictly more packets than direct at the same energy
+//      budget (the unreachable half books as drops under direct and is
+//      relayed under greedy).
+//
+// Usage: bench_routing [--fast] [key=value ...]
+//   --fast | fast=1   smoke variant: shorter horizons (CI)
+//   seed=<n>          master seed (default 2005)
+//   json=<path>       output path (default BENCH_routing.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "core/simulation_runner.hpp"
+#include "routing/routing_strategy.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace caem;
+
+double timed_run(const core::NetworkConfig& config, core::Protocol protocol,
+                 std::uint64_t seed, const core::RunOptions& options,
+                 core::RunResult* out) {
+  const auto start = std::chrono::steady_clock::now();
+  core::RunResult result = core::SimulationRunner::run(config, protocol, seed, options);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  if (out != nullptr) *out = std::move(result);
+  return elapsed.count();
+}
+
+/// Counters that must match exactly between the legacy clusterless path
+/// and the routed DirectUplink clone (same physics, same RNG draws).
+bool results_identical(const core::RunResult& a, const core::RunResult& b) {
+  return a.generated == b.generated && a.delivered_air == b.delivered_air &&
+         a.delivered_self == b.delivered_self && a.dropped_death == b.dropped_death &&
+         a.dropped_unreachable == b.dropped_unreachable && a.relay_hops == b.relay_hops &&
+         a.executed_events == b.executed_events && a.sim_end_s == b.sim_end_s &&
+         a.total_consumed_j == b.total_consumed_j && a.delivery_rate == b.delivery_rate;
+}
+
+core::NetworkConfig corner_sink_config() {
+  core::NetworkConfig config;
+  config.node_count = 100;
+  config.field_size_m = 200.0;
+  config.ch_fraction = 0.08;
+  config.channel.radio_range_m = 150.0;
+  config.routing.sink_x_m = 0.0;
+  config.routing.sink_y_m = 0.0;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--fast") {
+      fast = true;
+    } else {
+      tokens.push_back(token);
+    }
+  }
+  std::uint64_t seed = 2005;
+  std::string json_path = "BENCH_routing.json";
+  try {
+    const util::Config overrides = util::Config::from_args(tokens);
+    fast = overrides.get_bool("fast", fast);
+    seed = static_cast<std::uint64_t>(overrides.get_int("seed", 2005));
+    json_path = overrides.get_string("json", json_path);
+    const std::vector<std::string> typos = overrides.unconsumed();
+    if (!typos.empty()) {
+      std::cerr << "unknown override key(s):";
+      for (const std::string& key : typos) std::cerr << " '" << key << "'";
+      std::cerr << "\n";
+      return 1;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "bad arguments: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::printf("==== bench_routing ====\n");
+
+  // ---- 1. DirectUplink zero-overhead guard -------------------------------
+  // The clone pins DirectUplink explicitly; with all routing.* knobs at
+  // their defaults the sink is the legacy virtual one, so the physics
+  // is identical to the legacy clusterless fast path and every counter
+  // must match bit-for-bit.  Wall clock is the overhead under test.
+  core::ProtocolSpec clone;
+  clone.name = "bench-direct-routed";
+  clone.summary = "bench_routing: legacy direct via the routed uplink path";
+  clone.policy = queueing::ThresholdPolicy::kNone;
+  clone.clustering = nullptr;
+  clone.routing_name = "direct";
+  clone.routing = [](const core::NetworkConfig&) {
+    return std::make_unique<routing::DirectUplink>();
+  };
+  const core::Protocol routed_direct = core::ProtocolRegistry::instance().add(std::move(clone));
+  const core::Protocol legacy_direct = core::protocol_from_string("direct");
+
+  core::NetworkConfig overhead_config;  // paper defaults, clusterless uplink
+  core::RunOptions overhead_options;
+  overhead_options.max_sim_s = fast ? 60.0 : 200.0;
+
+  const int reps = 3;
+  double legacy_wall = 1e9;
+  double routed_wall = 1e9;
+  core::RunResult legacy_result;
+  core::RunResult routed_result;
+  for (int r = 0; r < reps; ++r) {
+    legacy_wall =
+        std::min(legacy_wall, timed_run(overhead_config, legacy_direct, seed, overhead_options,
+                                        &legacy_result));
+    routed_wall =
+        std::min(routed_wall, timed_run(overhead_config, routed_direct, seed, overhead_options,
+                                        &routed_result));
+  }
+  const bool identical = results_identical(legacy_result, routed_result);
+  const double ratio = legacy_wall > 0.0 ? routed_wall / legacy_wall : 0.0;
+  // Generous noise margin: the routed path adds one virtual call and a
+  // trivial plan per packet; anything past 25% is a real regression.
+  const bool overhead_ok = identical && ratio > 0.0 && ratio <= 1.25;
+  std::printf("direct uplink: legacy %.3f s, routed %.3f s, ratio %.3fx, counters %s -> %s\n",
+              legacy_wall, routed_wall, ratio, identical ? "identical" : "DIVERGED",
+              overhead_ok ? "ok" : "FAIL");
+
+  // ---- 2. greedy beats direct at the corner sink -------------------------
+  const core::NetworkConfig base = corner_sink_config();
+  core::RunOptions corner_options;
+  corner_options.max_sim_s = fast ? 60.0 : 300.0;
+  const core::Protocol scheme1 = core::protocol_from_string("caem-scheme1");
+
+  core::NetworkConfig direct_config = base;
+  direct_config.routing.kind = "direct";
+  core::NetworkConfig greedy_config = base;
+  greedy_config.routing.kind = "greedy";
+
+  core::RunResult direct_run;
+  core::RunResult greedy_run;
+  (void)timed_run(direct_config, scheme1, seed, corner_options, &direct_run);
+  (void)timed_run(greedy_config, scheme1, seed, corner_options, &greedy_run);
+  const bool greedy_wins = greedy_run.delivered_air > direct_run.delivered_air;
+  std::printf(
+      "corner sink:   direct %llu delivered (%llu unreachable), greedy %llu delivered "
+      "(%llu unreachable, %llu relay hops) -> %s\n",
+      static_cast<unsigned long long>(direct_run.delivered_air),
+      static_cast<unsigned long long>(direct_run.dropped_unreachable),
+      static_cast<unsigned long long>(greedy_run.delivered_air),
+      static_cast<unsigned long long>(greedy_run.dropped_unreachable),
+      static_cast<unsigned long long>(greedy_run.relay_hops),
+      greedy_wins ? "greedy wins" : "FAIL");
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"workload\": \"clusterless defaults (%.0f s) + corner sink 200 m field, "
+               "range 150 m (%.0f s), seed %llu\",\n"
+               "  \"direct_uplink_overhead\": {\n"
+               "    \"legacy_wall_s\": %.3f,\n"
+               "    \"routed_wall_s\": %.3f,\n"
+               "    \"ratio\": %.3f,\n"
+               "    \"counters_identical\": %s\n"
+               "  },\n"
+               "  \"greedy_vs_direct\": {\n"
+               "    \"delivered_direct\": %llu,\n"
+               "    \"delivered_greedy\": %llu,\n"
+               "    \"unreachable_direct\": %llu,\n"
+               "    \"unreachable_greedy\": %llu,\n"
+               "    \"relay_hops_greedy\": %llu,\n"
+               "    \"greedy_wins\": %s\n"
+               "  }\n"
+               "}\n",
+               overhead_options.max_sim_s, corner_options.max_sim_s,
+               static_cast<unsigned long long>(seed), legacy_wall, routed_wall, ratio,
+               identical ? "true" : "false",
+               static_cast<unsigned long long>(direct_run.delivered_air),
+               static_cast<unsigned long long>(greedy_run.delivered_air),
+               static_cast<unsigned long long>(direct_run.dropped_unreachable),
+               static_cast<unsigned long long>(greedy_run.dropped_unreachable),
+               static_cast<unsigned long long>(greedy_run.relay_hops),
+               greedy_wins ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nBENCH_routing -> %s\n", json_path.c_str());
+  return overhead_ok && greedy_wins ? 0 : 1;
+}

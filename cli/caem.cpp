@@ -204,8 +204,8 @@ int run_command(int argc, char** argv, bool merge) {
 int protocols_command() {
   // One row per registration, straight from the registry — the columns
   // are exactly what a ProtocolSpec controls.
-  caem::util::TableWriter table(
-      {"name", "aliases", "threshold_policy", "deadline_override", "clustering", "summary"});
+  caem::util::TableWriter table({"name", "aliases", "threshold_policy", "deadline_override",
+                                 "clustering", "routing", "uplink_energy", "summary"});
   for (const caem::core::Protocol protocol : caem::core::registered_protocols()) {
     const caem::core::ProtocolSpec& spec = protocol.spec();
     std::string aliases;
@@ -219,6 +219,8 @@ int protocols_command() {
         .cell(std::string(caem::queueing::to_string(spec.policy)))
         .cell(spec.deadline_override ? "yes" : "no")
         .cell(spec.clustering_label())
+        .cell(spec.routing_label())
+        .cell(spec.uplink_energy_label())
         .cell(spec.summary);
   }
   table.render(std::cout);
@@ -229,12 +231,18 @@ int protocols_command() {
 
 int expand_command(int argc, char** argv) {
   const CliArgs cli = parse_cli(argc, argv, 3);
-  if (!cli.cache_dir.empty() || cli.no_cache || !cli.shard.empty() || cli.require_complete) {
-    // Expand runs nothing, so accepting run-only flags would silently
-    // do nothing — same contract as unknown keys: fail loudly.
-    throw std::invalid_argument(
-        "--cache-dir/--no-cache/--shard/--require-complete only apply to 'caem run' or "
-        "'caem merge' (expand executes no jobs)");
+  // Expand runs nothing, so accepting run-only flags would silently do
+  // nothing — same contract as unknown keys: fail loudly, and name the
+  // flag that does not apply so the caller knows exactly what to drop.
+  const char* offending = nullptr;
+  if (!cli.cache_dir.empty()) offending = "--cache-dir";
+  else if (cli.no_cache) offending = "--no-cache";
+  else if (!cli.shard.empty()) offending = "--shard";
+  else if (cli.require_complete) offending = "--require-complete";
+  if (offending != nullptr) {
+    throw std::invalid_argument(std::string(offending) +
+                                " only applies to 'caem run' or 'caem merge' "
+                                "(expand executes no jobs)");
   }
   const caem::scenario::ScenarioSpec spec = load_spec(cli.overrides, argv[2]);
   print_banner(spec, std::cout);

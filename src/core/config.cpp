@@ -78,6 +78,27 @@ void NetworkConfig::validate() const {
   if (channel.radio_range_m < 0.0) {
     throw std::invalid_argument("config: channel.radio_range_m must be >= 0 (0 = unlimited)");
   }
+  if (routing.kind != "direct" && routing.kind != "greedy" && routing.kind != "chain") {
+    throw std::invalid_argument("config: routing.kind must be 'direct', 'greedy' or 'chain'");
+  }
+  if (routing.max_hops == 0) {
+    throw std::invalid_argument("config: routing.max_hops must be >= 1");
+  }
+  if (routing.relay_rx_j_per_bit < 0.0) {
+    throw std::invalid_argument("config: routing.relay_rx_j_per_bit must be >= 0");
+  }
+  if ((routing.sink_x_m >= 0.0) != (routing.sink_y_m >= 0.0)) {
+    throw std::invalid_argument(
+        "config: set both routing.sink_x_m and routing.sink_y_m for a geometric sink "
+        "(or neither for the virtual sink at bs_distance_m)");
+  }
+  if (routing.kind != "direct" && !routing.has_geometric_sink()) {
+    // With the virtual sink every node is the same distance out, so no
+    // relay is ever closer — greedy/chain would silently run direct.
+    throw std::invalid_argument("config: routing.kind='" + routing.kind +
+                                "' needs a geometric sink (set routing.sink_x_m and "
+                                "routing.sink_y_m)");
+  }
 }
 
 void NetworkConfig::apply_overrides(const util::Config& overrides) {
@@ -157,6 +178,13 @@ void NetworkConfig::apply_overrides(const util::Config& overrides) {
       overrides.get_double("fwd_eps_amp_j_per_bit_m2", fwd_eps_amp_j_per_bit_m2);
   aggregation_ratio = overrides.get_double("aggregation_ratio", aggregation_ratio);
   csi_gate_deadline_s = overrides.get_double("csi_gate_deadline_s", csi_gate_deadline_s);
+  routing.kind = overrides.get_string("routing.kind", routing.kind);
+  routing.max_hops =
+      static_cast<std::uint32_t>(overrides.get_int("routing.max_hops", routing.max_hops));
+  routing.relay_rx_j_per_bit =
+      overrides.get_double("routing.relay_rx_j_per_bit", routing.relay_rx_j_per_bit);
+  routing.sink_x_m = overrides.get_double("routing.sink_x_m", routing.sink_x_m);
+  routing.sink_y_m = overrides.get_double("routing.sink_y_m", routing.sink_y_m);
   validate();
 }
 
@@ -173,7 +201,14 @@ std::string NetworkConfig::canonical_text() const {
   };
   // Version header: bump when a field is added/removed/renamed so stale
   // cache entries from older layouts can never alias a new config.
-  out << "caem-config-v2\n";
+  //
+  // The routing block is conditional: all-default routing knobs render
+  // the exact legacy v2 text (no routing lines), so every pre-routing
+  // config keeps its digest and cache entries; any non-default routing
+  // field switches to v3 and appends the block.  No aliasing is
+  // possible — v3 text always contains routing lines, v2 text never
+  // does.
+  out << (routing.is_default() ? "caem-config-v2\n" : "caem-config-v3\n");
   // Simulation-semantics version: bump whenever SIMULATOR BEHAVIOR
   // changes for identical inputs (kernel reordering, RNG stream
   // changes, model fixes) even though no config or RunResult field
@@ -240,6 +275,13 @@ std::string NetworkConfig::canonical_text() const {
   put_d("dead_fraction", dead_fraction);
   put_d("energy_snapshot_interval_s", energy_snapshot_interval_s);
   put_d("queue_snapshot_interval_s", queue_snapshot_interval_s);
+  if (!routing.is_default()) {
+    put("routing.kind", routing.kind);
+    put_u("routing.max_hops", routing.max_hops);
+    put_d("routing.relay_rx_j_per_bit", routing.relay_rx_j_per_bit);
+    put_d("routing.sink_x_m", routing.sink_x_m);
+    put_d("routing.sink_y_m", routing.sink_y_m);
+  }
   return out.str();
 }
 

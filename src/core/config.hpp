@@ -11,11 +11,40 @@
 #include "channel/link.hpp"
 #include "channel/link_manager.hpp"
 #include "energy/power_state.hpp"
+#include "energy/uplink_energy_model.hpp"
 #include "mac/backoff.hpp"
 #include "mac/burst_policy.hpp"
 #include "util/config.hpp"
 
 namespace caem::core {
+
+/// Multi-hop uplink routing knobs.  All-default values mean "the legacy
+/// single-hop uplink": the network takes the exact pre-routing code
+/// path and canonical_text() renders the legacy caem-config-v2 text, so
+/// existing digests, cache entries and artifacts are untouched.  Any
+/// non-default field switches the rendering to caem-config-v3 with a
+/// routing block appended.
+struct UplinkRoutingConfig {
+  /// Path selection: "direct" (one leg), "greedy" (greedy-geographic
+  /// with the UtilCache cost/benefit rule) or "chain" (CH->CH
+  /// nearest-neighbor hops).  greedy/chain need a geometric sink.
+  std::string kind = "direct";
+  std::uint32_t max_hops = 4;          ///< relay legs bound for "chain"
+  double relay_rx_j_per_bit = 50e-9;   ///< receive electronics at a relay
+  /// Geometric sink position; either both >= 0 (a point in/near the
+  /// field) or both negative (the legacy virtual sink, a fixed
+  /// bs_distance_m from every node).
+  double sink_x_m = -1.0;
+  double sink_y_m = -1.0;
+
+  [[nodiscard]] bool has_geometric_sink() const noexcept {
+    return sink_x_m >= 0.0 && sink_y_m >= 0.0;
+  }
+  [[nodiscard]] bool is_default() const noexcept {
+    return kind == "direct" && max_hops == 4 && relay_rx_j_per_bit == 50e-9 &&
+           sink_x_m == -1.0 && sink_y_m == -1.0;
+  }
+};
 
 struct NetworkConfig {
   // ---- topology (Table II: 100 nodes, field ~100 m x 100 m) ----
@@ -84,6 +113,13 @@ struct NetworkConfig {
   double fwd_eps_amp_j_per_bit_m2 = 100e-12;
   double aggregation_ratio = 0.1;     ///< aggregated bits per received bit
 
+  /// Multi-hop uplink routing (see UplinkRoutingConfig).  Setting any
+  /// routing.* knob — or a protocol spec carrying a routing/energy
+  /// factory — activates the routed uplink path: hop chains executed
+  /// per packet, per-leg energy at true pairwise distance, unreachable
+  /// packets booked as drops.
+  UplinkRoutingConfig routing{};
+
   /// Deadline-aware CAEM (future-work variant): a sensor whose
   /// head-of-line packet is older than this may transmit even when the
   /// CSI gate denies.  0 disables.  Only protocols whose spec sets
@@ -110,9 +146,11 @@ struct NetworkConfig {
   /// First-order radio cost of one bit on the long haul to the base
   /// station (classic LEACH model: e_elec + eps_amp * d_bs^2).  The ONE
   /// formula both CH forwarding and the clusterless direct uplink
-  /// charge — change the long-haul physics here and both move together.
+  /// charge — it delegates to the shared energy::first_order_j_per_bit
+  /// helper, so the constants live in exactly one expression.
   [[nodiscard]] double bs_uplink_j_per_bit() const noexcept {
-    return fwd_e_elec_j_per_bit + fwd_eps_amp_j_per_bit_m2 * bs_distance_m * bs_distance_m;
+    return energy::first_order_j_per_bit(fwd_e_elec_j_per_bit, fwd_eps_amp_j_per_bit_m2,
+                                         bs_distance_m);
   }
 
   /// Throw std::invalid_argument on inconsistent values.

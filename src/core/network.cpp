@@ -20,6 +20,25 @@ Network::Network(NetworkConfig config, Protocol protocol, std::uint64_t seed)
   const ProtocolSpec& spec = protocol_.spec();
   if (spec.clustering) clustering_ = spec.clustering(config_);
 
+  // Routed uplink activates when the spec carries a routing or energy
+  // factory OR any routing.* knob is non-default; otherwise the run
+  // takes the legacy single-hop path untouched (byte-identical
+  // artifacts for all pre-routing configs — a tested contract).
+  if (spec.routing || spec.uplink_energy || !config_.routing.is_default()) {
+    routing_ = spec.routing ? spec.routing(config_)
+                            : routing::make_routing_strategy(config_.routing.kind,
+                                                             config_.routing.max_hops);
+    uplink_energy_ = spec.uplink_energy
+                         ? spec.uplink_energy(config_)
+                         : std::make_unique<energy::FirstOrderUplinkModel>(
+                               config_.fwd_e_elec_j_per_bit, config_.fwd_eps_amp_j_per_bit_m2,
+                               config_.routing.relay_rx_j_per_bit, config_.aggregation_ratio);
+    sink_.geometric = config_.routing.has_geometric_sink();
+    sink_.position = channel::Vec2{config_.routing.sink_x_m, config_.routing.sink_y_m};
+    sink_.fixed_distance_m = config_.bs_distance_m;
+    sink_.range_m = config_.channel.radio_range_m;
+  }
+
   // Place nodes uniformly in the square field and build them.  The hot
   // arrays are sized FIRST: nodes and queues hold raw pointers into
   // them, so the vectors must never reallocate afterwards.
@@ -181,8 +200,18 @@ void Network::begin_round(double now_s) {
     active.mac->set_delivery_callback(
         [this, head_id](const queueing::Packet& packet, phy::ModeIndex mode,
                         std::uint32_t /*sender*/, double now) {
-          metrics_.record_delivered(packet, mode, now);
-          if (config_.ch_forward_enabled) charge_forwarding(head_id, packet, now);
+          if (routing_) {
+            // Routed uplink subsumes ch_forward_enabled: arrival at the
+            // CH is not delivery — the aggregate still has to traverse
+            // the hop chain to the sink, and only end-of-chain success
+            // books record_delivered (a failed chain books a drop, so a
+            // packet can never count both ways).
+            route_uplink(head_id, packet, uplink_energy_->aggregated_bits(packet.payload_bits),
+                         mode, now);
+          } else {
+            metrics_.record_delivered(packet, mode, now);
+            if (config_.ch_forward_enabled) charge_forwarding(head_id, packet, now);
+          }
         });
     active.mac->start(now_s);
 
@@ -194,6 +223,8 @@ void Network::begin_round(double now_s) {
     }
     active_clusters_.push_back(std::move(active));
   }
+
+  if (routing_) rebuild_relays(clusters);
 
   sim_.schedule_at(now_s + config_.round_duration_s,
                    [this](double now) { begin_round(now); });
@@ -218,8 +249,14 @@ void Network::handle_arrival(std::uint32_t id, double now_s) {
   metrics_.record_generated(id, now_s);
 
   if (!clustering_) {
-    // Clusterless protocol: the sensor uplinks straight to the sink.
-    deliver_direct(node, packet, now_s);
+    // Clusterless protocol: the sensor uplinks straight to the sink
+    // (routed runs plan a chain — with no CHs it degenerates to one
+    // leg, but range and the pluggable cost model still apply).
+    if (routing_) {
+      route_uplink(id, packet, packet.payload_bits, 0, now_s);
+    } else {
+      deliver_direct(node, packet, now_s);
+    }
   } else if (node.is_cluster_head()) {
     // The CH aggregates its own observation locally: no radio involved.
     metrics_.record_self_delivered(packet, now_s);
@@ -261,6 +298,103 @@ void Network::charge_forwarding(std::uint32_t head_id, const queueing::Packet& p
   const double joules = bits * config_.bs_uplink_j_per_bit();
   const double drawn = head.battery().drain(joules, now_s);
   head.ledger().add(energy::RadioId::kData, energy::RadioState::kTx, drawn);
+}
+
+// ----------------------------------------------------------- routed uplink
+
+void Network::rebuild_relays(const std::vector<leach::Cluster>& clusters) {
+  // The round's CHs are the relay candidates; positions come from the
+  // hot mirror begin_round just refreshed.  Mid-round deaths are caught
+  // at plan/execute time through the battery-exact hot alive array.
+  std::vector<std::uint32_t> ids;
+  std::vector<channel::Vec2> positions;
+  ids.reserve(clusters.size());
+  positions.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    ids.push_back(cluster.head);
+    positions.push_back(hot_.position[cluster.head]);
+  }
+  relays_.rebuild(std::move(ids), std::move(positions));
+}
+
+bool Network::spend_tx(std::uint32_t id, double bits, double distance_m, double now_s) {
+  Node& node = *nodes_.at(id);
+  const double cost_j = uplink_energy_->tx_cost_j(bits, distance_m);
+  const bool funded = node.battery().remaining_j() >= cost_j;
+  const double drawn = node.battery().drain(cost_j, now_s);
+  node.ledger().add(energy::RadioId::kData, energy::RadioState::kTx, drawn);
+  return funded;
+}
+
+bool Network::spend_rx(std::uint32_t id, double bits, double now_s) {
+  Node& node = *nodes_.at(id);
+  const double cost_j = uplink_energy_->rx_cost_j(bits);
+  const bool funded = node.battery().remaining_j() >= cost_j;
+  const double drawn = node.battery().drain(cost_j, now_s);
+  node.ledger().add(energy::RadioId::kData, energy::RadioState::kRx, drawn);
+  return funded;
+}
+
+// Execute one routed uplink: plan the hop chain, then walk it leg by
+// leg charging true pairwise distances through the uplink energy model.
+// Contract (mirrors the direct-uplink rule): a packet is delivered iff
+// EVERY leg was fully funded — an underfunded transmit or relay receive
+// kills that node (drain clamps and fires the death callback) and the
+// packet books as a kNodeDeath drop, lost in flight.  A relay found
+// dead before its leg re-plans from the current holder; when no chain
+// can reach the sink the packet books as kUnreachable.  Never both, and
+// never a free delivery.
+void Network::route_uplink(std::uint32_t origin, const queueing::Packet& packet, double bits,
+                           phy::ModeIndex mode, double now_s) {
+  if (!hot_.alive[origin]) {
+    metrics_.record_drop(packet, queueing::DropReason::kNodeDeath, now_s);
+    return;
+  }
+  std::uint32_t cur = origin;
+  channel::Vec2 cur_pos = hot_.position[origin];
+  routing::UplinkPlan plan =
+      routing_->plan_uplink(origin, cur_pos, relays_, hot_.alive, sink_, *uplink_energy_);
+  if (!plan.reachable) {
+    metrics_.record_drop(packet, queueing::DropReason::kUnreachable, now_s);
+    return;
+  }
+  std::size_t leg = 0;
+  std::size_t replans = 0;
+  while (leg < plan.relays.size()) {
+    const std::uint32_t relay = plan.relays[leg];
+    if (!hot_.alive[relay]) {
+      // Stale plan: this relay died since planning.  Re-plan from the
+      // current holder; the alive array now excludes it.  Each re-plan
+      // strictly shrinks the candidate set, so the guard can't trip on
+      // a live run — it only backstops a misbehaving custom strategy.
+      if (++replans > nodes_.size()) {
+        metrics_.record_drop(packet, queueing::DropReason::kUnreachable, now_s);
+        return;
+      }
+      plan = routing_->plan_uplink(cur, cur_pos, relays_, hot_.alive, sink_, *uplink_energy_);
+      if (!plan.reachable) {
+        metrics_.record_drop(packet, queueing::DropReason::kUnreachable, now_s);
+        return;
+      }
+      leg = 0;
+      continue;
+    }
+    const channel::Vec2 relay_pos = hot_.position[relay];
+    const double hop_m = channel::distance_m(cur_pos, relay_pos);
+    if (!spend_tx(cur, bits, hop_m, now_s) || !spend_rx(relay, bits, now_s)) {
+      metrics_.record_drop(packet, queueing::DropReason::kNodeDeath, now_s);
+      return;
+    }
+    ++relay_hops_total_;
+    cur = relay;
+    cur_pos = relay_pos;
+    ++leg;
+  }
+  if (!spend_tx(cur, bits, sink_.distance_from(cur_pos), now_s)) {
+    metrics_.record_drop(packet, queueing::DropReason::kNodeDeath, now_s);
+    return;
+  }
+  metrics_.record_delivered(packet, mode, now_s);
 }
 
 // ------------------------------------------------------------------ deaths

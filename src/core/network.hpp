@@ -15,12 +15,14 @@
 #include "core/config.hpp"
 #include "core/node.hpp"
 #include "core/protocol.hpp"
+#include "energy/uplink_energy_model.hpp"
 #include "leach/clustering.hpp"
 #include "mac/cluster_head_mac.hpp"
 #include "metrics/collector.hpp"
 #include "phy/abicm.hpp"
 #include "phy/error_model.hpp"
 #include "phy/frame.hpp"
+#include "routing/routing_strategy.hpp"
 #include "sim/rng_registry.hpp"
 #include "sim/simulator.hpp"
 #include "tone/tone_broadcaster.hpp"
@@ -81,6 +83,15 @@ class Network {
   /// only after finalize()).
   [[nodiscard]] std::uint64_t collisions_total() const noexcept { return collisions_total_; }
 
+  /// Relay legs executed on routed uplinks (0 on the legacy path and
+  /// for DirectUplink — the routed-direct bench relies on that).
+  [[nodiscard]] std::uint64_t relay_hops_total() const noexcept { return relay_hops_total_; }
+
+  /// Whether this run executes the routed uplink path (the protocol
+  /// spec carries a routing/energy factory, or any routing.* knob is
+  /// non-default).  False = the legacy byte-identical fast path.
+  [[nodiscard]] bool routed_uplink() const noexcept { return routing_ != nullptr; }
+
   /// Sum of all nodes' MAC counters (diagnostics, ablation benches).
   [[nodiscard]] mac::SensorMacCounters mac_totals() const;
 
@@ -118,6 +129,17 @@ class Network {
   void handle_node_death(std::uint32_t id, double now_s);
   void charge_forwarding(std::uint32_t head_id, const queueing::Packet& packet, double now_s);
   void deliver_direct(Node& node, const queueing::Packet& packet, double now_s);
+  /// Routed uplink: plan the hop chain from `origin` and execute it leg
+  /// by leg (per-hop energy/death booking; see network.cpp).
+  void route_uplink(std::uint32_t origin, const queueing::Packet& packet, double bits,
+                    phy::ModeIndex mode, double now_s);
+  /// Charge one transmit/receive leg against a node.  Returns whether
+  /// the node could fully fund it (an underfunded leg still drains the
+  /// remainder and kills the node — the packet is lost in flight).
+  bool spend_tx(std::uint32_t id, double bits, double distance_m, double now_s);
+  bool spend_rx(std::uint32_t id, double bits, double now_s);
+  /// Rebuild the relay set (alive CHs + spatial index) for a new round.
+  void rebuild_relays(const std::vector<leach::Cluster>& clusters);
   void schedule_energy_snapshot();
   void schedule_queue_snapshot();
   [[nodiscard]] double link_snr_db(std::uint32_t id, double time_s);
@@ -141,6 +163,12 @@ class Network {
   /// Built from the protocol spec's clustering factory; null for
   /// clusterless protocols (direct uplink — no rounds, no CHs).
   std::unique_ptr<leach::ClusteringStrategy> clustering_;
+  /// Routed-uplink machinery; all null/empty on the legacy fast path.
+  /// routing_ doubles as the activation flag (see routed_uplink()).
+  std::unique_ptr<routing::RoutingStrategy> routing_;
+  std::unique_ptr<energy::UplinkEnergyModel> uplink_energy_;
+  routing::SinkModel sink_;
+  routing::RelaySet relays_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
   // Sized before node construction and never resized, so the mirror
@@ -159,6 +187,7 @@ class Network {
 
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t collisions_total_ = 0;
+  std::uint64_t relay_hops_total_ = 0;
   bool started_ = false;
   bool finalized_ = false;
 };

@@ -23,6 +23,14 @@ namespace caem::leach {
 class ClusteringStrategy;  // leach/clustering.hpp (kept out of this header)
 }  // namespace caem::leach
 
+namespace caem::routing {
+class RoutingStrategy;  // routing/routing_strategy.hpp (kept out of this header)
+}  // namespace caem::routing
+
+namespace caem::energy {
+class UplinkEnergyModel;  // energy/uplink_energy_model.hpp (kept out of this header)
+}  // namespace caem::energy
+
 namespace caem::core {
 
 struct NetworkConfig;
@@ -62,6 +70,40 @@ struct ProtocolSpec {
   [[nodiscard]] std::string clustering_label() const {
     if (!clustering) return "none";
     return clustering_name.empty() ? "custom" : clustering_name;
+  }
+
+  /// Builds the uplink path planner for one run.  Null means "whatever
+  /// the config's routing.* knobs say" — with all-default knobs that is
+  /// the legacy single-hop fast path, byte-identical to pre-routing
+  /// artifacts.  A non-null factory (like a non-default knob) activates
+  /// the routed uplink: hop chains, per-leg energy, unreachable drops.
+  using RoutingFactory =
+      std::function<std::unique_ptr<routing::RoutingStrategy>(const NetworkConfig&)>;
+  /// Builds the uplink cost model for one run.  Null means the config's
+  /// first-order model (fwd_e_elec_j_per_bit / fwd_eps_amp_j_per_bit_m2
+  /// / routing.relay_rx_j_per_bit / aggregation_ratio).
+  using UplinkEnergyFactory =
+      std::function<std::unique_ptr<energy::UplinkEnergyModel>(const NetworkConfig&)>;
+
+  /// Display label for the routing column; empty derives from the
+  /// factory (routing_label()).
+  std::string routing_name;
+  RoutingFactory routing;  ///< null = config-driven (legacy direct by default)
+  std::string uplink_energy_name;
+  UplinkEnergyFactory uplink_energy;  ///< null = config first-order model
+
+  /// The routing column `caem protocols` shows: "config" for a null
+  /// factory (the run follows routing.kind), else the spec's own label.
+  [[nodiscard]] std::string routing_label() const {
+    if (!routing) return "config";
+    return routing_name.empty() ? "custom" : routing_name;
+  }
+
+  /// The uplink-energy column: "first-order" for a null factory (the
+  /// config's shared model), else the spec's own label.
+  [[nodiscard]] std::string uplink_energy_label() const {
+    if (!uplink_energy) return "first-order";
+    return uplink_energy_name.empty() ? "custom" : uplink_energy_name;
   }
 
   /// Member of the paper's evaluated trio (scenario.protocols = all).

@@ -218,6 +218,13 @@ double read_double(const JsonValue& object, const char* key) {
   return parsed;
 }
 
+/// Optional unsigned field: absent reads as `fallback`.  Used for
+/// counters added after documents were already cached, where absence
+/// means the run predates the feature and the count is genuinely the
+/// fallback (so the format version can stay put and old entries keep
+/// serving).
+std::uint64_t read_u64_or(const JsonValue& object, const char* key, std::uint64_t fallback);
+
 std::uint64_t read_u64(const JsonValue& object, const char* key) {
   const JsonValue& value = require(object, key);
   if (value.kind != JsonValue::Kind::kNumber || value.text.empty() || value.text[0] == '-') {
@@ -230,6 +237,15 @@ std::uint64_t read_u64(const JsonValue& object, const char* key) {
     throw std::invalid_argument("RunResult JSON: bad integer in '" + std::string(key) + "'");
   }
   return parsed;
+}
+
+std::uint64_t read_u64_or(const JsonValue& object, const char* key, std::uint64_t fallback) {
+  if (object.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("RunResult JSON: expected object around '" + std::string(key) +
+                                "'");
+  }
+  if (object.object.find(key) == object.object.end()) return fallback;
+  return read_u64(object, key);
 }
 
 /// Strictly parse one array element as a number (kind AND full-token
@@ -300,6 +316,8 @@ std::string to_json(const RunResult& result) {
   field_u("dropped_overflow", result.dropped_overflow);
   field_u("dropped_retry", result.dropped_retry);
   field_u("dropped_death", result.dropped_death);
+  field_u("dropped_unreachable", result.dropped_unreachable);
+  field_u("relay_hops", result.relay_hops);
   field_u("collisions", result.collisions);
   field_d("delivery_rate", result.delivery_rate);
   field_d("mean_delay_s", result.mean_delay_s);
@@ -354,6 +372,10 @@ RunResult run_result_from_json(std::string_view json) {
   result.dropped_overflow = read_u64(doc, "dropped_overflow");
   result.dropped_retry = read_u64(doc, "dropped_retry");
   result.dropped_death = read_u64(doc, "dropped_death");
+  // Optional: documents cached before the routed-uplink work lack these
+  // counters, and for those runs zero is exact, not a guess.
+  result.dropped_unreachable = read_u64_or(doc, "dropped_unreachable", 0);
+  result.relay_hops = read_u64_or(doc, "relay_hops", 0);
   result.collisions = read_u64(doc, "collisions");
   result.delivery_rate = read_double(doc, "delivery_rate");
   result.mean_delay_s = read_double(doc, "mean_delay_s");

@@ -16,9 +16,12 @@
 
 namespace caem::core {
 
-/// Format version embedded in every document ("v" key).  Bump when
-/// RunResult gains/loses fields; readers reject other versions so a
-/// stale cache entry can never masquerade as a fresh result.
+/// Format version embedded in every document ("v" key).  Bump when a
+/// field is removed or changes meaning; readers reject other versions
+/// so a stale cache entry can never masquerade as a fresh result.
+/// Purely additive counters whose absence reads exactly as zero
+/// (dropped_unreachable, relay_hops) stay within the version — old
+/// cache entries keep serving with the true pre-feature values.
 inline constexpr long long kRunResultJsonVersion = 1;
 
 /// One-line compact JSON document.

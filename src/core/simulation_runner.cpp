@@ -34,6 +34,8 @@ RunResult SimulationRunner::run(const NetworkConfig& config, Protocol protocol,
   result.dropped_overflow = m.dropped(queueing::DropReason::kBufferOverflow);
   result.dropped_retry = m.dropped(queueing::DropReason::kRetryExhausted);
   result.dropped_death = m.dropped(queueing::DropReason::kNodeDeath);
+  result.dropped_unreachable = m.dropped(queueing::DropReason::kUnreachable);
+  result.relay_hops = network.relay_hops_total();
   result.collisions = network.collisions_total();
   result.delivery_rate = m.delivery_rate();
   result.mean_delay_s = m.delays().mean();

@@ -26,6 +26,8 @@ struct RunResult {
   std::uint64_t dropped_overflow = 0;
   std::uint64_t dropped_retry = 0;
   std::uint64_t dropped_death = 0;
+  std::uint64_t dropped_unreachable = 0;  ///< no alive route to the sink (routed uplink)
+  std::uint64_t relay_hops = 0;           ///< CH->CH relay legs executed (routed uplink)
   std::uint64_t collisions = 0;
   double delivery_rate = 0.0;
   double mean_delay_s = 0.0;

@@ -80,7 +80,7 @@ class MetricsCollector {
   std::uint64_t generated_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t self_delivered_ = 0;
-  std::array<std::uint64_t, 4> drops_{};  // by DropReason
+  std::array<std::uint64_t, queueing::kDropReasonCount> drops_{};  // by DropReason
   std::uint64_t collisions_ = 0;
   std::array<std::uint64_t, phy::kModeCount> per_mode_{};
   double delivered_bits_ = 0.0;

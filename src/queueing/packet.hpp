@@ -1,6 +1,7 @@
 // packet.hpp — the unit of sensed data moving through the system.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace caem::queueing {
@@ -11,7 +12,11 @@ enum class DropReason {
   kRetryExhausted,   ///< max retransmissions (6) exceeded
   kNodeDeath,        ///< the source node's battery depleted
   kEndOfRun,         ///< still queued when the simulation ended
+  kUnreachable,      ///< no alive route to the sink within radio range
 };
+
+/// Number of DropReason values (sizes per-reason counters).
+inline constexpr std::size_t kDropReasonCount = 5;
 
 struct Packet {
   std::uint64_t id = 0;        ///< globally unique, assigned at generation

@@ -1,0 +1,150 @@
+#include "routing/routing_strategy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace caem::routing {
+
+void RelaySet::rebuild(std::vector<std::uint32_t> new_ids,
+                       std::vector<channel::Vec2> new_positions) {
+  if (new_ids.size() != new_positions.size()) {
+    throw std::invalid_argument("RelaySet: ids/positions size mismatch");
+  }
+  ids = std::move(new_ids);
+  positions = std::move(new_positions);
+  grid = ids.empty() ? nullptr
+                     : std::make_unique<channel::SpatialGrid>(positions,
+                                                              channel::auto_bin_m(positions));
+}
+
+void RelaySet::clear() {
+  ids.clear();
+  positions.clear();
+  grid = nullptr;
+}
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// The best relay candidate one hop out from `cur_pos`: alive, not the
+/// holder or the original source, strictly closer to the sink, within
+/// `radius`.  "Best" orders by `key` (sink distance for greedy, hop
+/// distance for chains) with the node id as the deterministic
+/// tie-break, independent of grid visit order.
+struct Candidate {
+  std::size_t slot = kNone;  ///< index into relays.ids/positions
+  double key = 0.0;
+  double hop_d = 0.0;
+  double sink_d = 0.0;
+};
+
+template <typename KeyFn>
+Candidate best_candidate(std::uint32_t source, std::uint32_t cur, channel::Vec2 cur_pos,
+                         double cur_sink_d, double radius, const RelaySet& relays,
+                         const std::vector<std::uint8_t>& alive, const SinkModel& sink,
+                         KeyFn&& key_of) {
+  Candidate best;
+  if (!relays.grid) return best;
+  relays.grid->for_each_in_range(cur_pos, radius, [&](std::size_t k, double hop_d) {
+    const std::uint32_t id = relays.ids[k];
+    if (id == cur || id == source || !alive[id]) return;
+    const double sink_d = sink.distance_from(relays.positions[k]);
+    if (sink_d >= cur_sink_d) return;  // must make strict progress
+    const double key = key_of(hop_d, sink_d);
+    if (best.slot == kNone || key < best.key ||
+        (key == best.key && id < relays.ids[best.slot])) {
+      best = Candidate{k, key, hop_d, sink_d};
+    }
+  });
+  return best;
+}
+
+}  // namespace
+
+UplinkPlan DirectUplink::plan_uplink(std::uint32_t /*source*/, channel::Vec2 source_pos,
+                                     const RelaySet& /*relays*/,
+                                     const std::vector<std::uint8_t>& /*alive*/,
+                                     const SinkModel& sink,
+                                     const energy::UplinkEnergyModel& /*model*/) const {
+  UplinkPlan plan;
+  plan.reachable = sink.leg_in_range(sink.distance_from(source_pos));
+  return plan;
+}
+
+UplinkPlan GreedyGeographic::plan_uplink(std::uint32_t source, channel::Vec2 source_pos,
+                                         const RelaySet& relays,
+                                         const std::vector<std::uint8_t>& alive,
+                                         const SinkModel& sink,
+                                         const energy::UplinkEnergyModel& model) const {
+  UplinkPlan plan;
+  std::uint32_t cur = source;
+  channel::Vec2 cur_pos = source_pos;
+  double cur_d = sink.distance_from(cur_pos);
+  // Strict progress toward the sink every hop bounds the chain by the
+  // relay count; the loop guard is belt-and-braces.
+  for (std::size_t guard = 0; guard <= relays.ids.size(); ++guard) {
+    const bool direct_ok = sink.leg_in_range(cur_d);
+    // A hop must fit the radio range; with unlimited range, a hop
+    // longer than the remaining direct leg already costs more than
+    // finishing, so it can never pass the benefit test — prune at cur_d.
+    const double radius = sink.range_m > 0.0 ? sink.range_m : cur_d;
+    const Candidate next =
+        best_candidate(source, cur, cur_pos, cur_d, radius, relays, alive, sink,
+                       [](double /*hop_d*/, double sink_d) { return sink_d; });
+    if (next.slot == kNone) break;
+    if (direct_ok) {
+      // UtilCache's rule, per bit: relay only when the energy spent on
+      // the hop + relay receive + the relay's own uplink undercuts
+      // shouting at the sink from here.
+      const double relayed = model.tx_cost_j(1.0, next.hop_d) + model.rx_cost_j(1.0) +
+                             model.tx_cost_j(1.0, next.sink_d);
+      if (relayed >= model.tx_cost_j(1.0, cur_d)) break;
+    }
+    plan.relays.push_back(relays.ids[next.slot]);
+    cur = relays.ids[next.slot];
+    cur_pos = relays.positions[next.slot];
+    cur_d = next.sink_d;
+  }
+  plan.reachable = sink.leg_in_range(cur_d);
+  if (!plan.reachable) plan.relays.clear();
+  return plan;
+}
+
+UplinkPlan ChRelayChain::plan_uplink(std::uint32_t source, channel::Vec2 source_pos,
+                                     const RelaySet& relays,
+                                     const std::vector<std::uint8_t>& alive,
+                                     const SinkModel& sink,
+                                     const energy::UplinkEnergyModel& /*model*/) const {
+  UplinkPlan plan;
+  std::uint32_t cur = source;
+  channel::Vec2 cur_pos = source_pos;
+  double cur_d = sink.distance_from(cur_pos);
+  // Hop only while the sink is out of reach: the chain exists to buy
+  // reachability, not to shave energy (that is GreedyGeographic's job).
+  while (!sink.leg_in_range(cur_d) && plan.relays.size() < max_hops_) {
+    const double radius = sink.range_m > 0.0 ? sink.range_m : cur_d;
+    const Candidate next =
+        best_candidate(source, cur, cur_pos, cur_d, radius, relays, alive, sink,
+                       [](double hop_d, double /*sink_d*/) { return hop_d; });
+    if (next.slot == kNone) break;
+    plan.relays.push_back(relays.ids[next.slot]);
+    cur = relays.ids[next.slot];
+    cur_pos = relays.positions[next.slot];
+    cur_d = next.sink_d;
+  }
+  plan.reachable = sink.leg_in_range(cur_d);
+  if (!plan.reachable) plan.relays.clear();
+  return plan;
+}
+
+std::unique_ptr<RoutingStrategy> make_routing_strategy(const std::string& kind,
+                                                       std::uint32_t max_hops) {
+  if (kind == "direct") return std::make_unique<DirectUplink>();
+  if (kind == "greedy") return std::make_unique<GreedyGeographic>();
+  if (kind == "chain") return std::make_unique<ChRelayChain>(max_hops);
+  throw std::invalid_argument("routing.kind '" + kind +
+                              "' unknown (valid: direct, greedy, chain)");
+}
+
+}  // namespace caem::routing

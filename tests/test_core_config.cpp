@@ -163,5 +163,71 @@ TEST(Protocol, PolicyMapping) {
             queueing::ThresholdPolicy::kFixedHighest);
 }
 
+TEST(NetworkConfig, DefaultRoutingKeepsTheLegacyDigest) {
+  // The compatibility contract of the routed-uplink feature: a config
+  // with every routing.* knob at its default renders the exact
+  // pre-routing canonical text, so cache entries and sweep shard
+  // assignments minted before the feature keep serving.  The literal
+  // digest pins it against accidental canonical-text drift.
+  const NetworkConfig base;
+  EXPECT_TRUE(base.routing.is_default());
+  EXPECT_EQ(base.digest(), "d5cc9acc34aeb055");
+  const std::string text = base.canonical_text();
+  EXPECT_EQ(text.rfind("caem-config-v2\n", 0), 0u) << text.substr(0, 40);
+  EXPECT_EQ(text.find("routing."), std::string::npos);
+}
+
+TEST(NetworkConfig, NonDefaultRoutingRendersV3WithRoutingBlock) {
+  // Any non-default routing knob must flip the header to v3 AND append
+  // the routing block — a v2 text with routing fields (or a v3 without)
+  // could alias a legacy digest.
+  const NetworkConfig base;
+  NetworkConfig routed = base;
+  routed.routing.max_hops = 5;
+  const std::string text = routed.canonical_text();
+  EXPECT_EQ(text.rfind("caem-config-v3\n", 0), 0u) << text.substr(0, 40);
+  EXPECT_NE(text.find("routing.kind"), std::string::npos);
+  EXPECT_NE(text.find("routing.max_hops"), std::string::npos);
+  EXPECT_NE(routed.digest(), base.digest());
+
+  // Overrides round-trip through the same rendering: revert restores
+  // the legacy digest exactly.
+  NetworkConfig edited = base;
+  edited.apply_overrides(util::Config::from_args(
+      {"routing.kind=greedy", "routing.sink_x_m=0", "routing.sink_y_m=0"}));
+  EXPECT_EQ(edited.routing.kind, "greedy");
+  EXPECT_NE(edited.digest(), base.digest());
+  edited.apply_overrides(util::Config::from_args(
+      {"routing.kind=direct", "routing.sink_x_m=-1", "routing.sink_y_m=-1"}));
+  EXPECT_EQ(edited.digest(), base.digest());
+}
+
+TEST(NetworkConfig, RoutingKnobsValidate) {
+  NetworkConfig config;
+  // Unknown kind, degenerate hop budget, negative receive cost.
+  EXPECT_THROW(config.apply_overrides(util::Config::from_args({"routing.kind=flooding"})),
+               std::invalid_argument);
+  EXPECT_THROW(config.apply_overrides(util::Config::from_args({"routing.max_hops=0"})),
+               std::invalid_argument);
+  EXPECT_THROW(
+      config.apply_overrides(util::Config::from_args({"routing.relay_rx_j_per_bit=-1e-9"})),
+      std::invalid_argument);
+  // Sink coordinates come as a pair or not at all.
+  EXPECT_THROW(config.apply_overrides(util::Config::from_args({"routing.sink_x_m=10"})),
+               std::invalid_argument);
+  // Relaying strategies need a geometric sink: under the virtual sink
+  // every node is equidistant and they would silently run direct.
+  EXPECT_THROW(config.apply_overrides(util::Config::from_args({"routing.kind=greedy"})),
+               std::invalid_argument);
+  EXPECT_THROW(config.apply_overrides(util::Config::from_args({"routing.kind=chain"})),
+               std::invalid_argument);
+  // The valid spellings all pass.
+  NetworkConfig ok;
+  ok.apply_overrides(util::Config::from_args(
+      {"routing.kind=chain", "routing.max_hops=6", "routing.sink_x_m=0", "routing.sink_y_m=0"}));
+  EXPECT_EQ(ok.routing.max_hops, 6u);
+  EXPECT_TRUE(ok.routing.has_geometric_sink());
+}
+
 }  // namespace
 }  // namespace caem::core

@@ -22,6 +22,8 @@ RunResult sample_result() {
   result.dropped_overflow = 12;
   result.dropped_retry = 3;
   result.dropped_death = 0;
+  result.dropped_unreachable = 19;
+  result.relay_hops = 3141;
   result.collisions = 42;
   result.delivery_rate = 0.1;  // classic non-terminating binary fraction
   result.mean_delay_s = 1.0 / 3.0;
@@ -77,6 +79,8 @@ TEST(RunResultIo, RoundTripsEveryFieldExactly) {
   EXPECT_EQ(loaded.dropped_overflow, original.dropped_overflow);
   EXPECT_EQ(loaded.dropped_retry, original.dropped_retry);
   EXPECT_EQ(loaded.dropped_death, original.dropped_death);
+  EXPECT_EQ(loaded.dropped_unreachable, original.dropped_unreachable);
+  EXPECT_EQ(loaded.relay_hops, original.relay_hops);
   EXPECT_EQ(loaded.collisions, original.collisions);
   EXPECT_EQ(loaded.delivery_rate, original.delivery_rate);
   EXPECT_EQ(loaded.mean_delay_s, original.mean_delay_s);
@@ -127,6 +131,31 @@ TEST(RunResultIo, EmptySeriesRoundTrip) {
   EXPECT_TRUE(loaded.avg_remaining_energy.empty());
   EXPECT_TRUE(loaded.nodes_alive.empty());
   EXPECT_EQ(loaded.protocol, protocol_from_string("leach"));
+}
+
+TEST(RunResultIo, LegacyDocumentsWithoutRoutedCountersReadAsZero) {
+  // Cache entries minted before the routed-uplink feature carry no
+  // dropped_unreachable / relay_hops keys.  For those runs zero is the
+  // true value, so the reader defaults instead of rejecting — old
+  // entries keep serving within version 1.
+  RunResult result = sample_result();
+  result.dropped_unreachable = 0;
+  result.relay_hops = 0;
+  std::string legacy = to_json(result);
+  const auto strip = [&legacy](const std::string& key) {
+    const std::size_t at = legacy.find("\"" + key + "\":");
+    ASSERT_NE(at, std::string::npos) << key;
+    legacy.erase(at, legacy.find(',', at) - at + 1);
+  };
+  strip("dropped_unreachable");
+  strip("relay_hops");
+
+  const RunResult loaded = run_result_from_json(legacy);
+  EXPECT_EQ(loaded.dropped_unreachable, 0u);
+  EXPECT_EQ(loaded.relay_hops, 0u);
+  // Everything else is untouched by the stripping: the fixed point
+  // re-emits the keys with their true (zero) values.
+  EXPECT_EQ(to_json(loaded), to_json(result));
 }
 
 TEST(RunResultIo, RejectsGarbageMissingFieldsAndWrongVersion) {
