@@ -11,7 +11,14 @@
 //       cells already computed for the same (config digest, protocol,
 //       seed, horizon) load instead of executing
 //   --no-cache                              ignore the cache entirely
-//   --shard=i/N          (run) distributed worker: execute only the
+//   --worker             (run) dynamic distributed worker: drain the
+//       sweep's one shared queue by claiming cells in the cache dir,
+//       longest-expected-first; exits when every cell is cached
+//   --lease=<secs>       (run --worker) claim staleness horizon: a
+//       claim unrefreshed this long is presumed crashed and stolen
+//   --progress[=secs]    (run/merge) periodic one-line drain report on
+//       stderr: cells done/total, hit/executed split, cells/s, ETA
+//   --shard=i/N          (run) legacy static worker: execute only the
 //       cache-miss cells whose job index ≡ i-1 (mod N), store them into
 //       the shared cache dir, publish a completion marker, render
 //       nothing (the merge step folds)
@@ -53,9 +60,19 @@ int usage(std::ostream& out, int exit_code) {
          "  --cache-dir=<dir>   reuse cached results keyed by (config digest, protocol,\n"
          "                      seed); only cells absent from the cache execute\n"
          "  --no-cache          neither read nor write the cache (run only)\n"
-         "  --shard=i/N         run only: distributed worker i of N against the shared\n"
-         "                      cache dir; executes its index-stride slice of the misses,\n"
-         "                      publishes <cache>/sweeps/<digest>/shard_i_of_N.done,\n"
+         "  --worker            run only: dynamic distributed worker against the shared\n"
+         "                      cache dir; drains the sweep's ONE queue by claiming cells\n"
+         "                      (crash-safe leases: a dead worker's cells are stolen, not\n"
+         "                      orphaned), longest-expected-first; exits once every cell\n"
+         "                      of the sweep is cached, defers folding to `caem merge`\n"
+         "  --lease=<secs>      with --worker: claim staleness horizon (default 30);\n"
+         "                      claims are refreshed every lease/3 while computing\n"
+         "  --progress[=secs]   run/merge: one-line progress report to stderr every\n"
+         "                      <secs> (default 5) while draining: cells done/total,\n"
+         "                      hit/executed split, cells/s, ETA\n"
+         "  --shard=i/N         run only: legacy static worker i of N; executes its\n"
+         "                      index-stride slice of the misses, publishes\n"
+         "                      <cache>/sweeps/<digest>/shard_i_of_N.done,\n"
          "                      defers folding/artifacts to `caem merge`\n"
          "  --require-complete  run only: equivalent to `caem merge`\n"
          "\n"
@@ -64,10 +81,10 @@ int usage(std::ostream& out, int exit_code) {
          "      sweep.traffic_rate_pps=list:5,15 output.csv=out.csv output.trace=traces \\\n"
          "      node_count=50\n"
          "\n"
-         "a sharded launch runs the same scenario + overrides on every worker, e.g.\n"
-         "  for i in 1 2 3; do caem run sweep.scn --shard=$i/3 --cache-dir=cache & done\n"
+         "a distributed launch runs the same scenario + overrides on every worker, e.g.\n"
+         "  for i in 1 2 3; do caem run sweep.scn --worker --cache-dir=cache & done\n"
          "  wait; caem merge sweep.scn --cache-dir=cache\n"
-         "(scripts/shard_sweep.sh wraps exactly this)\n";
+         "(scripts/shard_sweep.sh wraps exactly this; --static falls back to --shard=i/N)\n";
   return exit_code;
 }
 
@@ -89,8 +106,25 @@ struct CliArgs {
   bool no_cache = false;
   std::string shard;  ///< raw --shard=i/N value ("" = unsharded)
   bool require_complete = false;
+  bool worker = false;
+  double lease_s = -1.0;     ///< < 0 = flag absent (spec default applies)
+  double progress_s = 0.0;   ///< 0 = off; --progress without a value = 5 s
   std::vector<std::string> overrides;
 };
+
+/// Strictly-positive seconds for --lease/--progress; rejects trailing
+/// junk and non-positive values by name.
+double parse_seconds(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size() || !(value > 0.0)) throw std::invalid_argument("bad");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + " expects a positive number of seconds, got '" + text +
+                                "'");
+  }
+}
 
 CliArgs parse_cli(int argc, char** argv, int first) {
   CliArgs args;
@@ -110,6 +144,17 @@ CliArgs parse_cli(int argc, char** argv, int first) {
       args.shard = token.substr(8);
     } else if (token == "--require-complete") {
       args.require_complete = true;
+    } else if (token == "--worker") {
+      args.worker = true;
+    } else if (token == "--lease") {
+      if (i + 1 >= argc) throw std::invalid_argument("--lease needs a seconds argument");
+      args.lease_s = parse_seconds("--lease", argv[++i]);
+    } else if (token.rfind("--lease=", 0) == 0) {
+      args.lease_s = parse_seconds("--lease", token.substr(8));
+    } else if (token == "--progress") {
+      args.progress_s = 5.0;
+    } else if (token.rfind("--progress=", 0) == 0) {
+      args.progress_s = parse_seconds("--progress", token.substr(11));
     } else if (token.rfind("--", 0) == 0) {
       throw std::invalid_argument("unknown flag '" + token + "'");
     } else {
@@ -134,6 +179,10 @@ void print_banner(const caem::scenario::ScenarioSpec& spec, std::ostream& out) {
         << (spec.shard_index - 1) << ", " << (spec.shard_index - 1 + spec.shard_count)
         << ", ... of the flattened queue)\n";
   }
+  if (spec.worker_mode) {
+    out << "worker: dynamic claiming, lease " << caem::util::format_fixed(spec.lease_s, 0)
+        << " s (cells drain longest-expected-first; exits when the sweep is fully cached)\n";
+  }
   if (spec.merge_shards) {
     out << "merge: completing the sweep from shard markers + cache\n";
   }
@@ -144,24 +193,53 @@ int run_command(int argc, char** argv, bool merge) {
   caem::scenario::ScenarioSpec spec = load_spec(cli.overrides, argv[2]);
   if (!cli.cache_dir.empty()) spec.cache_dir = cli.cache_dir;
   if (cli.no_cache) spec.use_cache = false;
-  if (merge && (!cli.shard.empty() || cli.require_complete)) {
+  if (merge && (!cli.shard.empty() || cli.require_complete || cli.worker)) {
     throw std::invalid_argument(
-        "'caem merge' already completes the sweep; --shard/--require-complete do not apply");
+        "'caem merge' already completes the sweep; --shard/--worker/--require-complete do not "
+        "apply");
   }
   if (!cli.shard.empty() && cli.require_complete) {
     throw std::invalid_argument(
         "--shard and --require-complete are mutually exclusive (a shard runs one slice; "
         "--require-complete merges the whole sweep)");
   }
+  if (cli.worker && !cli.shard.empty()) {
+    throw std::invalid_argument(
+        "--worker and --shard are mutually exclusive (a worker drains the one shared queue; "
+        "a shard a static residue slice)");
+  }
+  if (cli.worker && cli.require_complete) {
+    throw std::invalid_argument(
+        "--worker and --require-complete are mutually exclusive (run `caem merge` once every "
+        "worker has exited)");
+  }
+  if (cli.lease_s >= 0.0 && !cli.worker) {
+    throw std::invalid_argument("--lease only applies to `caem run --worker`");
+  }
   if (!cli.shard.empty()) {
     const caem::scenario::ShardRef ref = caem::scenario::parse_shard(cli.shard);
     spec.shard_index = ref.index;
     spec.shard_count = ref.count;
   }
+  spec.worker_mode = cli.worker;
+  if (cli.lease_s > 0.0) spec.lease_s = cli.lease_s;
+  spec.progress_s = cli.progress_s;
   if (merge || cli.require_complete) spec.merge_shards = true;
   print_banner(spec, std::cout);
   std::cout << "\n";
   const caem::scenario::ScenarioResult result = caem::scenario::run_scenario(spec);
+  if (result.worker_mode) {
+    // Partial run: the fold and the artifacts belong to the merge step.
+    std::cout << "worker " << result.worker_token << ": " << result.executed_jobs
+              << " cell(s) executed, " << result.cache_hits << " found cached, "
+              << result.claims_stolen << " stale claim(s) stolen\n"
+              << "marker: " << result.marker_path << "\n"
+              << "artifacts deferred: fold with `caem merge " << argv[2]
+              << " --cache-dir=" << spec.cache_dir << "` once all workers are done\n";
+    std::cout << "wall clock: " << caem::util::format_fixed(result.wall_s, 2) << " s for "
+              << result.executed_jobs << " executed job(s)\n";
+    return 0;
+  }
   if (result.shard_count >= 1) {
     // Partial run: the fold and the artifacts belong to the merge step.
     std::cout << "shard " << result.shard_index << "/" << result.shard_count << ": "
@@ -186,6 +264,20 @@ int run_command(int argc, char** argv, bool merge) {
         std::cout << " (claimed " << result.executed_jobs << " unfinished cell(s))";
       }
       std::cout << "\n";
+    }
+    if (!result.workers.empty()) {
+      // Straggler telemetry: who drained what, and how long the
+      // slowest worker — the sweep's critical path — actually took.
+      const caem::scenario::WorkerMarker* straggler = nullptr;
+      for (const caem::scenario::WorkerMarker& w : result.workers) {
+        std::cout << "  worker " << w.token << ": " << w.stored.size() << " executed, "
+                  << w.cache_hits << " hits, " << w.stolen << " stolen, "
+                  << caem::util::format_fixed(w.wall_ms / 1000.0, 2) << " s\n";
+        if (straggler == nullptr || w.wall_ms > straggler->wall_ms) straggler = &w;
+      }
+      std::cout << "merge: " << result.workers.size() << " worker report(s); straggler "
+                << straggler->token << " at "
+                << caem::util::format_fixed(straggler->wall_ms / 1000.0, 2) << " s\n";
     }
   }
   caem::scenario::summary_table(result).render(std::cout);
@@ -239,6 +331,9 @@ int expand_command(int argc, char** argv) {
   else if (cli.no_cache) offending = "--no-cache";
   else if (!cli.shard.empty()) offending = "--shard";
   else if (cli.require_complete) offending = "--require-complete";
+  else if (cli.worker) offending = "--worker";
+  else if (cli.lease_s >= 0.0) offending = "--lease";
+  else if (cli.progress_s > 0.0) offending = "--progress";
   if (offending != nullptr) {
     throw std::invalid_argument(std::string(offending) +
                                 " only applies to 'caem run' or 'caem merge' "

@@ -1,21 +1,31 @@
 #!/usr/bin/env sh
-# shard_sweep.sh — launch a local N-way sharded sweep against one shared
-# cache directory, wait for the workers, then merge and render artifacts.
+# shard_sweep.sh — launch a local N-way distributed sweep against one
+# shared cache directory, wait for the workers, then merge and render
+# artifacts.
 #
-#   scripts/shard_sweep.sh <caem-binary> <scenario.scn> <N> <cache-dir> [key=value ...]
+#   scripts/shard_sweep.sh <caem-binary> <scenario.scn> <N> <cache-dir> \
+#       [--static] [--lease=<secs>] [key=value ...]
+#
+# By default the N processes are DYNAMIC workers (`caem run --worker`):
+# they drain the sweep's one shared queue by claiming cells in the cache
+# dir, longest-expected-first, so no worker can be stuck with an unlucky
+# static slice and a crashed worker's cells are stolen after its claim
+# lease expires.  --static falls back to the legacy `--shard=i/N`
+# residue partition (kept for A/B comparison; bench_shard_balance
+# measures the difference).
 #
 # Every worker (and the merge) receives the same scenario file and the
 # same overrides — config-affecting overrides change the sweep digest,
-# and mismatched shards would simply work on different sweeps.  A worker
-# that crashes is harmless: the merge censuses the completion markers,
-# re-runs only the crashed shard's unfinished cells, and folds the full
-# sweep from pure cache hits.  For multi-host launches run the same
-# `caem run --shard=i/N --cache-dir=<shared dir>` command per host
-# against a shared filesystem and `caem merge` from any of them.
+# and mismatched workers would simply work on different sweeps.  A
+# worker that crashes is harmless either way: surviving dynamic workers
+# steal its cells, and the merge re-runs anything still missing before
+# folding the full sweep from pure cache hits.  For multi-host launches
+# run the same `caem run --worker --cache-dir=<shared dir>` command per
+# host against a shared filesystem and `caem merge` from any of them.
 set -eu
 
 if [ "$#" -lt 4 ]; then
-  echo "usage: $0 <caem-binary> <scenario.scn> <N> <cache-dir> [key=value ...]" >&2
+  echo "usage: $0 <caem-binary> <scenario.scn> <N> <cache-dir> [--static] [--lease=<secs>] [key=value ...]" >&2
   exit 2
 fi
 
@@ -29,10 +39,30 @@ case "$N" in
   ''|*[!0-9]*|0) echo "$0: N must be a positive integer, got '$N'" >&2; exit 2 ;;
 esac
 
+MODE=worker
+LEASE=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --static) MODE=static; shift ;;
+    --lease=*) LEASE=$1; shift ;;
+    *) break ;;
+  esac
+done
+
+if [ "$MODE" = "static" ] && [ -n "$LEASE" ]; then
+  echo "$0: --lease only applies to dynamic (non --static) launches" >&2
+  exit 2
+fi
+
 pids=""
 i=1
 while [ "$i" -le "$N" ]; do
-  "$CAEM" run "$SCN" --shard="$i/$N" --cache-dir="$CACHE" "$@" &
+  if [ "$MODE" = "worker" ]; then
+    # shellcheck disable=SC2086 — $LEASE is empty or one --lease=<secs> token
+    "$CAEM" run "$SCN" --worker $LEASE --cache-dir="$CACHE" "$@" &
+  else
+    "$CAEM" run "$SCN" --shard="$i/$N" --cache-dir="$CACHE" "$@" &
+  fi
   pids="$pids $!"
   i=$((i + 1))
 done
@@ -42,7 +72,7 @@ for pid in $pids; do
   wait "$pid" || failed=1
 done
 if [ "$failed" -ne 0 ]; then
-  echo "$0: one or more shards failed; merge will re-run their unfinished cells" >&2
+  echo "$0: one or more workers failed; merge will re-run their unfinished cells" >&2
 fi
 
 exec "$CAEM" merge "$SCN" --cache-dir="$CACHE" "$@"

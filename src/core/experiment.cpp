@@ -44,6 +44,34 @@ std::vector<RunResult> parallel_runs(std::size_t count,
   return results;
 }
 
+std::vector<RunResult> parallel_runs_ordered(std::size_t result_size,
+                                             const std::vector<std::size_t>& order,
+                                             const std::function<RunResult(std::size_t)>& job,
+                                             std::size_t threads) {
+  std::vector<char> seen(result_size, 0);
+  for (const std::size_t id : order) {
+    if (id >= result_size) {
+      throw std::invalid_argument("parallel_runs_ordered: job id " + std::to_string(id) +
+                                  " out of range (result_size " + std::to_string(result_size) +
+                                  ")");
+    }
+    if (seen[id]) {
+      throw std::invalid_argument("parallel_runs_ordered: duplicate job id " +
+                                  std::to_string(id));
+    }
+    seen[id] = 1;
+  }
+  std::vector<RunResult> results(result_size);
+  if (order.empty()) return results;
+  // parallel_runs' atomic ticket counter hands out k in submission
+  // order, so job order[k] starts no later than order[k+1] — exactly
+  // the drain-order contract.  Scatter back by original id.
+  std::vector<RunResult> drained =
+      parallel_runs(order.size(), [&](std::size_t k) { return job(order[k]); }, threads);
+  for (std::size_t k = 0; k < order.size(); ++k) results[order[k]] = std::move(drained[k]);
+  return results;
+}
+
 Replicated fold_runs(std::vector<RunResult> runs) {
   Replicated summary;
   summary.runs = std::move(runs);

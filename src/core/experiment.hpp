@@ -23,6 +23,21 @@ std::vector<RunResult> parallel_runs(std::size_t count,
                                      const std::function<RunResult(std::size_t)>& job,
                                      std::size_t threads = 0);
 
+/// Run `job(order[k])` for every k on up to `threads` workers, DRAINING
+/// the queue in the order given, and return results indexed by original
+/// job id (`result[order[k]] = job(order[k])`; slots not named in
+/// `order` stay default-constructed).  The drain order is pure
+/// scheduling — each job's result depends only on its own id — so
+/// callers reorder freely for load balance (the scenario engine feeds a
+/// longest-expected-first order so the final worker is never stuck
+/// behind a long-running job queued last) without touching results.
+/// `order` entries must be unique and < result_size; throws
+/// std::invalid_argument otherwise.
+std::vector<RunResult> parallel_runs_ordered(std::size_t result_size,
+                                             const std::vector<std::size_t>& order,
+                                             const std::function<RunResult(std::size_t)>& job,
+                                             std::size_t threads = 0);
+
 /// Scalar summary over replications.
 struct Replicated {
   util::OnlineStats lifetime_s;          ///< network lifetime (dead-fraction)

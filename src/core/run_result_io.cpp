@@ -248,6 +248,32 @@ std::uint64_t read_u64_or(const JsonValue& object, const char* key, std::uint64_
   return read_u64(object, key);
 }
 
+/// Optional double / string fields, same contract as read_u64_or: used
+/// for the execution-provenance stamps added after documents were
+/// already cached, where absence means the run predates the feature.
+double read_double_or(const JsonValue& object, const char* key, double fallback) {
+  if (object.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("RunResult JSON: expected object around '" + std::string(key) +
+                                "'");
+  }
+  if (object.object.find(key) == object.object.end()) return fallback;
+  return read_double(object, key);
+}
+
+std::string read_string_or(const JsonValue& object, const char* key, std::string fallback) {
+  if (object.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("RunResult JSON: expected object around '" + std::string(key) +
+                                "'");
+  }
+  const auto it = object.object.find(key);
+  if (it == object.object.end()) return fallback;
+  if (it->second.kind != JsonValue::Kind::kString) {
+    throw std::invalid_argument("RunResult JSON: field '" + std::string(key) +
+                                "' is not a string");
+  }
+  return it->second.text;
+}
+
 /// Strictly parse one array element as a number (kind AND full-token
 /// checks): a corrupt cache entry must throw and read as a miss, never
 /// load truncated data.
@@ -349,6 +375,17 @@ std::string to_json(const RunResult& result) {
       << result.delivered_per_mode[3] << "],";
   field_u("threshold_lower_events", result.threshold_lower_events);
   field_u("threshold_raise_events", result.threshold_raise_events);
+  field_d("wall_ms", result.wall_ms);
+  // Hostnames are plain DNS labels; escape the two JSON-significant
+  // characters anyway so a hand-set value can never produce an
+  // unparseable document.
+  out << "\"exec_host\":\"";
+  for (const char c : result.exec_host) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << "\",";
+  field_u("exec_pid", result.exec_pid);
   put_series(out, "avg_remaining_energy", result.avg_remaining_energy);
   out << ',';
   put_series(out, "nodes_alive", result.nodes_alive);
@@ -411,6 +448,11 @@ RunResult run_result_from_json(std::string_view json) {
   }
   result.threshold_lower_events = read_u64(doc, "threshold_lower_events");
   result.threshold_raise_events = read_u64(doc, "threshold_raise_events");
+  // Optional: documents cached before the work-stealing scheduler lack
+  // the execution-provenance stamps; 0 / "" mean exactly "unrecorded".
+  result.wall_ms = read_double_or(doc, "wall_ms", 0.0);
+  result.exec_host = read_string_or(doc, "exec_host", "");
+  result.exec_pid = read_u64_or(doc, "exec_pid", 0);
   result.avg_remaining_energy = read_series(doc, "avg_remaining_energy");
   result.nodes_alive = read_series(doc, "nodes_alive");
   return result;

@@ -19,9 +19,11 @@ namespace caem::core {
 /// Format version embedded in every document ("v" key).  Bump when a
 /// field is removed or changes meaning; readers reject other versions
 /// so a stale cache entry can never masquerade as a fresh result.
-/// Purely additive counters whose absence reads exactly as zero
-/// (dropped_unreachable, relay_hops) stay within the version — old
-/// cache entries keep serving with the true pre-feature values.
+/// Purely additive fields whose absence reads exactly as the value the
+/// run truly had (dropped_unreachable, relay_hops — zero; the wall_ms /
+/// exec_host / exec_pid execution stamps — unrecorded) stay within the
+/// version — old cache entries keep serving with true pre-feature
+/// values.
 inline constexpr long long kRunResultJsonVersion = 1;
 
 /// One-line compact JSON document.

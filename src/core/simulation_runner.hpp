@@ -52,6 +52,17 @@ struct RunResult {
   std::uint64_t delivered_per_mode[4] = {0, 0, 0, 0};
   std::uint64_t threshold_lower_events = 0;
   std::uint64_t threshold_raise_events = 0;
+
+  // Execution provenance, stamped by the scenario engine when the run
+  // is headed for the result cache (SimulationRunner itself leaves them
+  // zero: two runs of the same cell must stay bit-identical however
+  // long each took).  wall_ms feeds the sweep cost model's
+  // longest-expected-first drain order; host/pid make a shared cache
+  // dir auditable ("which worker computed this cell?").  All three are
+  // additive within the JSON format version — absent reads as 0 / "".
+  double wall_ms = 0.0;       ///< measured execution wall time (0 = unmeasured)
+  std::string exec_host;      ///< hostname that executed the run ("" = unrecorded)
+  std::uint64_t exec_pid = 0; ///< executing process id (0 = unrecorded)
 };
 
 struct RunOptions {

@@ -1,0 +1,58 @@
+#include "scenario/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caem::scenario {
+
+double CostModel::static_cost(std::size_t node_count, double horizon_s) {
+  return static_cast<double>(node_count) * horizon_s;
+}
+
+void CostModel::observe(const std::string& protocol, std::size_t node_count, double horizon_s,
+                        double wall_ms) {
+  if (wall_ms <= 0.0) return;  // legacy entry without an execution stamp
+  Family& family = families_[{protocol, node_count}];
+  family.total_wall_ms += wall_ms;
+  ++family.count;
+  observed_wall_ms_ += wall_ms;
+  observed_static_ += static_cost(node_count, horizon_s);
+  ++observations_;
+}
+
+double CostModel::estimate_ms(const std::string& protocol, std::size_t node_count,
+                              double horizon_s) const {
+  const auto it = families_.find({protocol, node_count});
+  if (it != families_.end() && it->second.count > 0) {
+    return it->second.total_wall_ms / static_cast<double>(it->second.count);
+  }
+  const double a_priori = static_cost(node_count, horizon_s);
+  if (observed_static_ > 0.0) {
+    // Scale the a-priori cost into measured-milliseconds so cold
+    // families stay comparable with warmed ones in a mixed sweep.
+    return a_priori * (observed_wall_ms_ / observed_static_);
+  }
+  return a_priori;
+}
+
+std::vector<std::size_t> cost_order(const std::vector<std::size_t>& jobs,
+                                    const std::function<double(std::size_t)>& cost_of) {
+  if (!cost_of) throw std::invalid_argument("cost_order: null cost function");
+  // Evaluate once per job: cost functions may consult the model's maps
+  // and the comparator must see one consistent value per job.
+  std::vector<std::pair<double, std::size_t>> keyed;
+  keyed.reserve(jobs.size());
+  for (const std::size_t job : jobs) keyed.emplace_back(cost_of(job), job);
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<std::size_t> order;
+  order.reserve(keyed.size());
+  for (const auto& [cost, job] : keyed) {
+    (void)cost;
+    order.push_back(job);
+  }
+  return order;
+}
+
+}  // namespace caem::scenario

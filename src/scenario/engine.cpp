@@ -1,17 +1,145 @@
 #include "scenario/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <mutex>
+#include <numeric>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
+#include <unistd.h>
+
+#include "scenario/cost_model.hpp"
 #include "scenario/result_cache.hpp"
 #include "scenario/shard_manifest.hpp"
+#include "scenario/work_queue.hpp"
+#include "util/table_writer.hpp"
 #include "util/time_series.hpp"
 
 namespace caem::scenario {
+
+namespace {
+
+const std::string& exec_hostname() {
+  static const std::string host = [] {
+    char buffer[256] = {0};
+    if (::gethostname(buffer, sizeof(buffer) - 1) != 0 || buffer[0] == '\0') {
+      return std::string("unknown-host");
+    }
+    return std::string(buffer);
+  }();
+  return host;
+}
+
+/// Periodic one-line drain report on its own thread: cells done/total,
+/// hit/executed split, executed cells/s and the ETA that rate implies.
+/// Interval <= 0 constructs a no-op (no thread).  stop() is idempotent
+/// and joins; the destructor stops too, so the reporter can never
+/// outlive the counters or stream it watches.
+class ProgressReporter {
+ public:
+  ProgressReporter(double interval_s, std::ostream& out, std::size_t total,
+                   const std::atomic<std::size_t>& hits, const std::atomic<std::size_t>& executed)
+      : interval_s_(interval_s), out_(out), total_(total), hits_(hits), executed_(executed) {
+    if (interval_s_ > 0.0) thread_ = std::thread([this] { loop(); });
+  }
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  ~ProgressReporter() { stop(); }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void loop() {
+    const auto started = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto interval = std::chrono::duration<double>(interval_s_);
+    while (!cv_.wait_for(lock, interval, [this] { return stopped_; })) {
+      report(started);
+    }
+  }
+
+  void report(std::chrono::steady_clock::time_point started) const {
+    const std::size_t hits = hits_.load();
+    const std::size_t executed = executed_.load();
+    const std::size_t done = std::min(hits + executed, total_);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    const double rate = elapsed_s > 0.0 ? static_cast<double>(executed) / elapsed_s : 0.0;
+    out_ << "progress: " << done << "/" << total_ << " cell(s) (" << hits << " hit, "
+         << executed << " executed), " << util::format_fixed(rate, 2) << " cells/s, ETA ";
+    if (done >= total_) {
+      out_ << "0 s";
+    } else if (rate > 0.0) {
+      out_ << util::format_fixed(static_cast<double>(total_ - done) / rate, 0) << " s";
+    } else {
+      out_ << "unknown";
+    }
+    out_ << std::endl;  // flush per line: progress is watched live
+  }
+
+  double interval_s_;
+  std::ostream& out_;
+  std::size_t total_;
+  const std::atomic<std::size_t>& hits_;
+  const std::atomic<std::size_t>& executed_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+/// RAII heartbeat on one claimed cell: re-stamps the claim every
+/// lease/3 so a healthy holder is never mistaken for a crashed one.
+/// Join (destruct) BEFORE releasing the claim — a refresh racing the
+/// release would resurrect the claim file.
+class LeaseRefresher {
+ public:
+  LeaseRefresher(const ClaimBoard& board, std::size_t job, double lease_s)
+      : thread_([this, &board, job, lease_s] {
+          std::unique_lock<std::mutex> lock(mutex_);
+          const auto period = std::chrono::duration<double>(lease_s / 3.0);
+          while (!cv_.wait_for(lock, period, [this] { return stopped_; })) {
+            board.refresh(job);
+          }
+        }) {}
+
+  LeaseRefresher(const LeaseRefresher&) = delete;
+  LeaseRefresher& operator=(const LeaseRefresher&) = delete;
+
+  ~LeaseRefresher() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 JobCoords job_coords(const ScenarioSpec& spec, std::size_t index) {
   const std::size_t reps = spec.replications;
@@ -52,21 +180,34 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         "flattened queue; drop scenario.cache_dir or re-enable flattening)");
   }
   const bool sharded = spec.shard_count >= 1;
-  if (sharded || spec.merge_shards) {
+  result.worker_mode = spec.worker_mode;
+  if (sharded || spec.merge_shards || spec.worker_mode) {
     if (sharded && spec.merge_shards) {
       throw std::invalid_argument(
           "a shard run cannot also merge: --shard and merge/--require-complete are mutually "
           "exclusive");
     }
+    if (spec.worker_mode && sharded) {
+      throw std::invalid_argument(
+          "--worker and --shard are mutually exclusive: a worker drains the one shared queue, "
+          "a shard a static residue slice");
+    }
+    if (spec.worker_mode && spec.merge_shards) {
+      throw std::invalid_argument(
+          "a worker cannot also merge: run `caem merge` once every worker has exited");
+    }
     if (!result.cache_enabled) {
       throw std::invalid_argument(
-          "sharded execution requires the result cache — the shared cache directory is the "
-          "coordination substrate shards merge through (set --cache-dir/scenario.cache_dir and "
-          "drop --no-cache)");
+          "distributed execution requires the result cache — the shared cache directory is the "
+          "coordination substrate workers and shards merge through (set "
+          "--cache-dir/scenario.cache_dir and drop --no-cache)");
     }
   }
   if (sharded && (spec.shard_index < 1 || spec.shard_index > spec.shard_count)) {
     throw std::invalid_argument("shard index out of range: --shard=i/N needs 1 <= i <= N");
+  }
+  if (spec.worker_mode && !(spec.lease_s > 0.0)) {
+    throw std::invalid_argument("--lease must be a positive number of seconds");
   }
 
   // Job order is (point, protocol, rep) row-major so fold-back is an
@@ -76,6 +217,29 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     const JobCoords c = job_coords(spec, i);
     return core::SimulationRunner::run(configs[c.point], spec.protocols[c.protocol],
                                        spec.base_seed + c.rep, spec.options);
+  };
+
+  // Live drain counters for --progress (and the worker report).  Scan
+  // hits are added before the drain starts; executions tick as they
+  // finish on whatever thread ran them.
+  std::atomic<std::size_t> hit_count{0};
+  std::atomic<std::size_t> executed_count{0};
+  std::ostream& progress_out =
+      spec.progress_stream != nullptr ? *spec.progress_stream : std::cerr;
+
+  // LPT drain order: longest-expected cells first, so the queue never
+  // saves a run-to-extinction cell for last (scenario/cost_model.hpp).
+  // Purely a scheduling hint — every result binds to its job index.
+  CostModel model;
+  const auto observe_entry = [&](std::size_t i, const core::RunResult& entry) {
+    const JobCoords c = job_coords(spec, i);
+    model.observe(core::to_string(spec.protocols[c.protocol]), configs[c.point].node_count,
+                  spec.options.max_sim_s, entry.wall_ms);
+  };
+  const auto job_cost = [&](std::size_t i) {
+    const JobCoords c = job_coords(spec, i);
+    return model.estimate_ms(core::to_string(spec.protocols[c.protocol]),
+                             configs[c.point].node_count, spec.options.max_sim_s);
   };
 
   std::vector<core::RunResult> runs;
@@ -95,17 +259,139 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     const ShardManifest manifest(spec.cache_dir, result.sweep_digest);
     std::vector<std::size_t> pending;
 
+    // Execution provenance is stamped here — by the engine, only on
+    // runs headed for the cache — so the simulator itself stays a pure
+    // function of (config, protocol, seed) and two fresh computations
+    // remain bit-identical (a tested contract).
+    const auto timed_run = [&](std::size_t i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      core::RunResult run = run_job(i);
+      run.wall_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      run.exec_host = exec_hostname();
+      run.exec_pid = static_cast<std::uint64_t>(::getpid());
+      executed_count.fetch_add(1);
+      return run;
+    };
+
     // Shared by the shard and unsharded/merge paths so store/retry
     // semantics can never diverge between them; `sink` is null on a
-    // shard run, which stores cells but never folds them.
+    // shard run, which stores cells but never folds them.  `pending`
+    // stays in ascending scan order (markers record it); only the
+    // DRAIN is cost-ordered.
     const auto execute_and_store = [&](std::vector<core::RunResult>* sink) {
+      const std::vector<std::size_t> order = cost_order(pending, job_cost);
       std::vector<core::RunResult> executed = core::parallel_runs(
-          pending.size(), [&](std::size_t j) { return run_job(pending[j]); }, spec.threads);
-      for (std::size_t j = 0; j < pending.size(); ++j) {
-        cache.store(paths[pending[j]], executed[j]);
-        if (sink != nullptr) (*sink)[pending[j]] = std::move(executed[j]);
+          order.size(), [&](std::size_t k) { return timed_run(order[k]); }, spec.threads);
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        cache.store(paths[order[k]], executed[k]);
+        if (sink != nullptr) (*sink)[order[k]] = std::move(executed[k]);
       }
     };
+
+    if (spec.worker_mode) {
+      // -- the dynamic work-stealing drain (tentpole path) --
+      //
+      // One shared queue, any number of workers: each cell is won by
+      // whichever worker claims it first (work_queue.hpp), so a fast
+      // worker simply claims more cells and the sweep's makespan stops
+      // being hostage to the unluckiest static slice.  The loop below
+      // repeats passes over the not-yet-cached cells until the CACHE
+      // says the sweep is complete — claims gate execution, never
+      // completion — so this worker also outlives its peers' crashes:
+      // their stale claims expire and are stolen here.
+      ClaimBoard board(spec.cache_dir, result.sweep_digest, spec.lease_s);
+      {
+        std::error_code error;
+        std::filesystem::create_directories(board.dir(), error);
+        if (error) {
+          throw std::runtime_error("cannot create claim dir '" + board.dir() +
+                                   "': " + error.message());
+        }
+      }
+      result.worker_token = board.token();
+
+      std::vector<std::size_t> todo;
+      for (std::size_t i = 0; i < result.total_jobs; ++i) {
+        if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
+          observe_entry(i, *hit);
+          ++result.cache_hits;
+        } else {
+          todo.push_back(i);
+        }
+      }
+      hit_count.store(result.cache_hits);
+      ProgressReporter reporter(spec.progress_s, progress_out, result.total_jobs, hit_count,
+                                executed_count);
+
+      std::vector<std::size_t> stored;
+      std::vector<std::size_t> queue = cost_order(todo, job_cost);
+      // Poll cadence while every remaining cell is held by a healthy
+      // peer: fast enough to pick freed cells up promptly, and well
+      // under the lease so a stale claim is stolen soon after expiry.
+      const auto poll = std::chrono::duration<double>(std::min(0.5, spec.lease_s / 4.0));
+      while (!queue.empty()) {
+        bool progressed = false;
+        std::vector<std::size_t> blocked;
+        for (const std::size_t job : queue) {
+          if (cache.load(paths[job]).has_value()) {
+            // A peer finished it since our last look: a hit, not ours.
+            ++result.cache_hits;
+            hit_count.fetch_add(1);
+            progressed = true;
+            continue;
+          }
+          if (board.try_claim(job) == ClaimBoard::Claim::kBusy) {
+            blocked.push_back(job);
+            continue;
+          }
+          // Won.  Re-check under the claim: the previous holder may
+          // have stored and released between our load and our acquire.
+          if (cache.load(paths[job]).has_value()) {
+            board.release(job);
+            ++result.cache_hits;
+            hit_count.fetch_add(1);
+            progressed = true;
+            continue;
+          }
+          {
+            // Heartbeat while computing; joined before the release so a
+            // late refresh can never resurrect a released claim.
+            const LeaseRefresher heartbeat(board, job, spec.lease_s);
+            cache.store(paths[job], timed_run(job));
+          }
+          board.release(job);
+          stored.push_back(job);
+          progressed = true;
+        }
+        queue = std::move(blocked);
+        if (!queue.empty() && !progressed) std::this_thread::sleep_for(poll);
+      }
+      reporter.stop();
+
+      result.executed_jobs = stored.size();
+      result.cache_misses = stored.size();
+      result.claims_stolen = board.stolen();
+      result.wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+
+      WorkerMarker report;
+      report.token = board.token();
+      report.host = board.host();
+      report.pid = static_cast<std::uint64_t>(::getpid());
+      report.total_jobs = result.total_jobs;
+      report.cache_hits = result.cache_hits;
+      report.stolen = board.stolen();
+      report.wall_ms = result.wall_s * 1000.0;
+      std::sort(stored.begin(), stored.end());
+      report.stored = std::move(stored);
+      manifest.write_worker_done(report);
+      result.marker_path = manifest.worker_marker_path(board.token());
+      // No fold: `caem merge` folds the full sweep from pure cache hits
+      // once the last worker exits.
+      return result;
+    }
 
     if (sharded) {
       // One worker of a distributed launch.  Scan only this shard's
@@ -116,13 +402,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       for (std::size_t i = spec.shard_index - 1; i < result.total_jobs;
            i += spec.shard_count) {
         ++result.shard_jobs;
-        if (cache.load(paths[i]).has_value()) {
+        if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
+          observe_entry(i, *hit);
           ++result.cache_hits;
         } else {
           pending.push_back(i);
         }
       }
+      hit_count.store(result.cache_hits);
+      ProgressReporter reporter(spec.progress_s, progress_out, result.shard_jobs, hit_count,
+                                executed_count);
       execute_and_store(nullptr);
+      reporter.stop();
       // Publish the completion marker only now: every claimed cell is
       // durably stored first, so a marker can never lie about coverage.
       ShardMarker marker;
@@ -145,6 +436,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     runs.resize(result.total_jobs);
     for (std::size_t i = 0; i < result.total_jobs; ++i) {
       if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
+        observe_entry(i, *hit);
         runs[i] = std::move(*hit);
         ++result.cache_hits;
       } else {
@@ -182,8 +474,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
           result.shards_missing.push_back(id);
         }
       }
+      // Worker telemetry census: which worker drained what, at what
+      // cost — load imbalance and crash recovery made visible.
+      result.workers = manifest.collect_workers();
     }
-    execute_and_store(&runs);
+    hit_count.store(result.cache_hits);
+    {
+      ProgressReporter reporter(spec.progress_s, progress_out, result.total_jobs, hit_count,
+                                executed_count);
+      execute_and_store(&runs);
+    }
     result.executed_jobs = pending.size();
     if (spec.merge_shards) {
       // Claim the crashed shards' markers so a later merge (or
@@ -201,8 +501,23 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     }
   } else if (spec.flatten) {
     // One queue over the whole cross product — the irregular-wavefront
-    // idiom: keep every worker busy as long as ANY job remains.
-    runs = core::parallel_runs(result.total_jobs, run_job, spec.threads);
+    // idiom: keep every worker busy as long as ANY job remains — drained
+    // longest-expected-first so the big cells never land on an
+    // otherwise-empty pool (a-priori costs only: with no cache there is
+    // nothing measured to refine them with).
+    std::vector<std::size_t> all(result.total_jobs);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    ProgressReporter reporter(spec.progress_s, progress_out, result.total_jobs, hit_count,
+                              executed_count);
+    runs = core::parallel_runs_ordered(
+        result.total_jobs, cost_order(all, job_cost),
+        [&](std::size_t i) {
+          core::RunResult run = run_job(i);
+          executed_count.fetch_add(1);
+          return run;
+        },
+        spec.threads);
+    reporter.stop();
     result.executed_jobs = result.total_jobs;
   } else {
     // Legacy barrier mode: one small pool per (point, protocol), joined

@@ -20,6 +20,7 @@
 
 #include "core/experiment.hpp"
 #include "scenario/scenario_spec.hpp"
+#include "scenario/shard_manifest.hpp"
 #include "util/table_writer.hpp"
 
 namespace caem::scenario {
@@ -68,6 +69,19 @@ struct ScenarioResult {
   std::size_t shards_expected = 0;          ///< merge: N inferred from markers (0 = none found)
   std::size_t shards_done = 0;              ///< merge: markers present for that N
   std::vector<std::size_t> shards_missing;  ///< merge: 1-based ids without a marker
+
+  // -- worker mode (dynamic claiming, see scenario/work_queue.hpp) --
+  /// Worker run: this process drained the shared claim queue; points
+  /// stays empty (the merge folds).  cache_hits counts every cell this
+  /// worker observed already stored — at scan time or mid-drain when
+  /// another worker got there first — so cache_hits + executed_jobs ==
+  /// total_jobs for a worker that ran to completion.
+  bool worker_mode = false;
+  std::string worker_token;         ///< this worker's claim token
+  std::size_t claims_stolen = 0;    ///< stale/corrupt claims this worker stole
+  /// Merge: per-worker telemetry reports found beside the shard markers
+  /// (sorted by token) — the straggler census.
+  std::vector<WorkerMarker> workers;
 };
 
 /// Decomposed flattened job index: job i is replication `rep` of
@@ -104,6 +118,22 @@ struct JobCoords {
 /// from pure cache hits — rendering byte-identically to a
 /// single-process run.  Both modes require the cache and throw
 /// std::invalid_argument without it (or when combined with each other).
+///
+/// With spec.worker_mode, this process cooperatively drains the ONE
+/// shared queue instead of a static slice: cells are claimed
+/// dynamically in the cache dir (crash-safe lease/steal protocol —
+/// scenario/work_queue.hpp), drained longest-expected-first
+/// (scenario/cost_model.hpp), and the worker only exits once every
+/// cell of the sweep is durably cached — so killing any worker delays
+/// nothing beyond one lease.  Like a shard run it stores cells and
+/// publishes a (telemetry) marker but never folds.  Requires the
+/// cache; mutually exclusive with --shard and merge.
+///
+/// Everywhere the engine executes cells it drains them in descending
+/// expected cost (LPT): a-priori node_count x horizon, refined by the
+/// measured wall_ms of cache entries already present for the same
+/// (protocol, node_count) family.  Order affects wall clock only —
+/// results bind to job indices, never to drain order.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
 
 /// Summary table: one row per (point, protocol) with the axis columns

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,28 @@ struct ScenarioSpec {
   /// claim markers on their behalf, then fold and render exactly like
   /// a single-process run.
   bool merge_shards = false;
+
+  /// `caem run --worker` (CLI-only, same every-process-same-file
+  /// contract as --shard): drain the sweep's ONE shared queue by
+  /// dynamically claiming cells in the cache dir — any number of
+  /// workers, started and stopped at any time, cooperate without a
+  /// static partition.  Cells drain longest-expected-first, a worker
+  /// exits when every cell of the sweep is cached, and it publishes a
+  /// telemetry report instead of folding.  Requires the result cache.
+  /// See scenario/work_queue.hpp.
+  bool worker_mode = false;
+  /// `caem run --lease=<secs>`: staleness horizon for this worker's
+  /// claims — a claim not refreshed for this long is presumed crashed
+  /// and stolen.  The holder refreshes every lease_s/3 while computing.
+  double lease_s = 30.0;
+
+  /// `caem run --progress[=secs]` (CLI-only): emit a one-line progress
+  /// report (cells done/total, hit/executed split, cells/s, ETA) every
+  /// this many seconds while draining.  0 = off.
+  double progress_s = 0.0;
+  /// Progress destination; null = std::cerr (keeps stdout clean for the
+  /// summary table).  Tests inject a stringstream here.
+  std::ostream* progress_stream = nullptr;
 
   /// Load a scenario file.  Throws std::invalid_argument on syntax
   /// errors, unknown keys, bad axis specs or inconsistent config values.

@@ -77,6 +77,31 @@ bool parse_marker_name(const std::string& name, std::size_t& shard, std::size_t&
   return shard >= 1 && of >= 1 && shard <= of;
 }
 
+/// worker_<sanitized token>.done — accepted loosely (any middle), the
+/// body's token field is the identity.
+bool is_worker_marker_name(const std::string& name) {
+  constexpr const char* kPrefix = "worker_";
+  constexpr const char* kSuffix = ".done";
+  constexpr std::size_t kPrefixLen = 7;
+  constexpr std::size_t kSuffixLen = 5;
+  if (name.size() <= kPrefixLen + kSuffixLen) return false;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  return name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+}
+
+/// Claim tokens contain ':' and arbitrary hostname characters; keep the
+/// filename to the portable [A-Za-z0-9._-] set.
+std::string sanitize_token(const std::string& token) {
+  std::string out;
+  out.reserve(token.size());
+  for (const char c : token) {
+    const bool safe = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+                      c == '_' || c == '-';
+    out += safe ? c : '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 ShardRef parse_shard(const std::string& text) {
@@ -160,6 +185,63 @@ std::optional<ShardMarker> ShardManifest::load_done(std::size_t shard, std::size
   } catch (const std::exception&) {
     return std::nullopt;  // torn/corrupt marker: treat the shard as not done
   }
+}
+
+std::string ShardManifest::worker_marker_path(const std::string& token) const {
+  return (fs::path(dir_) / ("worker_" + sanitize_token(token) + ".done")).string();
+}
+
+void ShardManifest::write_worker_done(const WorkerMarker& marker) const {
+  if (marker.token.empty()) {
+    throw std::invalid_argument("worker marker: empty token");
+  }
+  std::ostringstream body;
+  body << "v = 1\n"
+       << "sweep = " << sweep_ << '\n'
+       << "token = " << marker.token << '\n'
+       << "host = " << marker.host << '\n'
+       << "pid = " << marker.pid << '\n'
+       << "total_jobs = " << marker.total_jobs << '\n'
+       << "cache_hits = " << marker.cache_hits << '\n'
+       << "stolen = " << marker.stolen << '\n'
+       << "wall_ms = " << marker.wall_ms << '\n'
+       << "stored = " << join_indices(marker.stored) << '\n';
+  util::atomic_write_file(worker_marker_path(marker.token), body.str(), "worker manifest");
+}
+
+std::vector<WorkerMarker> ShardManifest::collect_workers() const {
+  std::vector<WorkerMarker> markers;
+  std::error_code error;
+  fs::directory_iterator it(dir_, error);
+  if (error) return markers;  // no sweep dir yet: no worker has finished
+  for (const fs::directory_entry& entry : it) {
+    if (!is_worker_marker_name(entry.path().filename().string())) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      const util::Config config = util::Config::from_text(buffer.str());
+      if (config.get_int("v", -1) != 1) continue;
+      if (config.get_string("sweep", "") != sweep_) continue;
+      WorkerMarker marker;
+      marker.token = config.get_string("token", "");
+      if (marker.token.empty()) continue;
+      marker.host = config.get_string("host", "");
+      marker.pid = static_cast<std::uint64_t>(config.get_int("pid", 0));
+      marker.total_jobs = parse_size("worker total_jobs", config.get_string("total_jobs", "0"));
+      marker.cache_hits = parse_size("worker cache_hits", config.get_string("cache_hits", "0"));
+      marker.stolen = parse_size("worker stolen", config.get_string("stolen", "0"));
+      marker.wall_ms = config.get_double("wall_ms", 0.0);
+      marker.stored = parse_indices(config.get_string("stored", ""));
+      markers.push_back(std::move(marker));
+    } catch (const std::exception&) {
+      continue;  // torn/corrupt report: telemetry only, skip it
+    }
+  }
+  std::sort(markers.begin(), markers.end(),
+            [](const WorkerMarker& a, const WorkerMarker& b) { return a.token < b.token; });
+  return markers;
 }
 
 std::vector<ShardMarker> ShardManifest::collect() const {

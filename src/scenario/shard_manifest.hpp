@@ -79,11 +79,30 @@ struct ShardMarker {
   std::vector<std::size_t> stored;  ///< job indices this writer executed and stored
 };
 
+/// Per-worker completion report for a dynamically claimed sweep
+/// (`caem run --worker`).  Unlike a ShardMarker it claims nothing — the
+/// claim protocol (work_queue.hpp) already settled ownership cell by
+/// cell — it is pure telemetry: which cells this worker actually drained
+/// and at what cost, so `caem merge` can name the straggler instead of
+/// leaving load imbalance invisible.
+struct WorkerMarker {
+  std::string token;                ///< ClaimBoard token (host:pid:nonce-…)
+  std::string host;
+  std::uint64_t pid = 0;
+  std::size_t total_jobs = 0;       ///< flattened queue length of the sweep
+  std::size_t cache_hits = 0;       ///< cells this worker found already stored
+  std::size_t stolen = 0;           ///< stale/corrupt claims this worker stole
+  double wall_ms = 0.0;             ///< worker wall clock, drain start to finish
+  std::vector<std::size_t> stored;  ///< job indices this worker executed and stored
+};
+
 /// Marker I/O rooted at `<cache-dir>/sweeps/<sweep digest>/`.  Markers
 /// are plain `key = value` text (util::Config syntax) written with the
 /// same write-then-rename discipline as cache entries; anything
 /// unreadable, unparseable, or stamped with a different sweep digest
-/// reads as absent, never as data.
+/// reads as absent, never as data.  Worker markers live beside shard
+/// markers as `worker_<sanitized token>.done`; the `shard_` filename
+/// prefix keeps the two censuses disjoint.
 class ShardManifest {
  public:
   ShardManifest(const std::string& cache_root, const std::string& sweep);
@@ -102,6 +121,16 @@ class ShardManifest {
 
   /// Every valid marker present for this sweep, sorted by (of, shard).
   [[nodiscard]] std::vector<ShardMarker> collect() const;
+
+  [[nodiscard]] std::string worker_marker_path(const std::string& token) const;
+
+  /// Atomically publish a worker's completion report (creates the sweep
+  /// dir).  Throws std::runtime_error on an unwritable path and
+  /// std::invalid_argument on an empty token.
+  void write_worker_done(const WorkerMarker& marker) const;
+
+  /// Every valid worker report present for this sweep, sorted by token.
+  [[nodiscard]] std::vector<WorkerMarker> collect_workers() const;
 
  private:
   std::string sweep_;

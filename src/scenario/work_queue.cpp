@@ -1,0 +1,165 @@
+#include "scenario/work_queue.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "util/atomic_file.hpp"
+#include "util/config.hpp"
+
+namespace caem::scenario {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string local_hostname() {
+  char buffer[256] = {0};
+  if (::gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown-host";
+  return buffer[0] != '\0' ? std::string(buffer) : std::string("unknown-host");
+}
+
+/// Monotonic per-process counter: distinguishes boards (and steal
+/// destinations) created by one process.
+std::uint64_t next_nonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1);
+}
+
+std::string random_suffix() {
+  static const std::uint64_t entropy = [] {
+    std::random_device device;
+    return (static_cast<std::uint64_t>(device()) << 32) ^ device();
+  }();
+  std::ostringstream out;
+  out << std::hex << entropy;
+  return out.str();
+}
+
+}  // namespace
+
+std::uint64_t ClaimBoard::now_ms() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+ClaimBoard::ClaimBoard(const std::string& cache_root, const std::string& sweep, double lease_s)
+    : sweep_(sweep),
+      dir_((fs::path(cache_root) / "sweeps" / sweep / "claims").string()),
+      host_(local_hostname()),
+      lease_s_(lease_s) {
+  if (cache_root.empty()) throw std::invalid_argument("ClaimBoard: empty cache directory");
+  if (sweep.empty()) throw std::invalid_argument("ClaimBoard: empty sweep digest");
+  if (!(lease_s > 0.0)) throw std::invalid_argument("ClaimBoard: lease must be > 0 seconds");
+  // host:pid:nonce-random — unique across hosts (hostname), processes
+  // (pid), and boards within one process (nonce); the random suffix
+  // guards against pid reuse across a crash/restart on one host.
+  token_ = host_ + ":" + std::to_string(::getpid()) + ":" + std::to_string(next_nonce()) + "-" +
+           random_suffix();
+}
+
+std::string ClaimBoard::claim_path(std::size_t job) const {
+  return (fs::path(dir_) / ("job_" + std::to_string(job) + ".claim")).string();
+}
+
+std::string ClaimBoard::claim_body(std::size_t job) const {
+  std::ostringstream body;
+  body << "v = 1\n"
+       << "sweep = " << sweep_ << '\n'
+       << "job = " << job << '\n'
+       << "token = " << token_ << '\n'
+       << "host = " << host_ << '\n'
+       << "pid = " << ::getpid() << '\n'
+       << "epoch_ms = " << now_ms() << '\n'
+       << "lease_s = " << lease_s_ << '\n';
+  return body.str();
+}
+
+std::optional<ClaimInfo> ClaimBoard::peek(std::size_t job) const {
+  std::ifstream in(claim_path(job), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const util::Config config = util::Config::from_text(buffer.str());
+    if (config.get_int("v", -1) != 1) return std::nullopt;
+    if (config.get_string("sweep", "") != sweep_) return std::nullopt;
+    ClaimInfo info;
+    info.job = static_cast<std::size_t>(config.get_int("job", -1));
+    if (info.job != job) return std::nullopt;
+    info.token = config.get_string("token", "");
+    if (info.token.empty()) return std::nullopt;
+    info.host = config.get_string("host", "");
+    info.pid = static_cast<std::uint64_t>(config.get_int("pid", 0));
+    info.epoch_ms = static_cast<std::uint64_t>(config.get_int("epoch_ms", 0));
+    info.lease_s = config.get_double("lease_s", 0.0);
+    return info;
+  } catch (const std::exception&) {
+    return std::nullopt;  // torn/hand-damaged claim reads as unreadable
+  }
+}
+
+bool ClaimBoard::take(std::size_t job) {
+  // rename with a destination unique to (this board, this attempt) is a
+  // filesystem test-and-take: of N racing stealers exactly one rename
+  // finds the source present and succeeds; the rest get ENOENT.
+  const std::string from = claim_path(job);
+  const std::string to = from + ".stale-" + std::to_string(::getpid()) + "-" +
+                         std::to_string(next_nonce());
+  std::error_code error;
+  fs::rename(from, to, error);
+  if (error) return false;
+  fs::remove(to, error);  // best-effort cleanup of the evicted claim
+  return true;
+}
+
+ClaimBoard::Claim ClaimBoard::try_claim(std::size_t job) {
+  const std::string path = claim_path(job);
+  // Each pass either acquires, observes a healthy foreign holder, or
+  // evicts a stale/corrupt claim and retries.  The bound only guards
+  // against a pathological acquire/release storm; hitting it simply
+  // reports busy and the caller repolls later.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    if (util::atomic_create_file(path, claim_body(job), "work claim")) return Claim::kWon;
+    const std::optional<ClaimInfo> standing = peek(job);
+    if (!standing.has_value()) {
+      std::error_code error;
+      if (!fs::exists(path, error)) continue;  // holder released: re-try the acquire
+      // Present but unreadable: a claim is published complete (temp +
+      // hard link), so this is hand damage — evict it like a stale one.
+      if (take(job)) ++stolen_;
+      continue;
+    }
+    if (standing->token == token_) return Claim::kWon;  // already ours
+    const double lease_s = standing->lease_s > 0.0 ? standing->lease_s : lease_s_;
+    const std::uint64_t expiry_ms =
+        standing->epoch_ms + static_cast<std::uint64_t>(lease_s * 1000.0);
+    if (now_ms() <= expiry_ms) return Claim::kBusy;  // healthy holder
+    if (take(job)) ++stolen_;
+    // Lost the steal race (or won it): either way loop — the next pass
+    // acquires, or observes the winning stealer's fresh claim as busy.
+  }
+  return Claim::kBusy;
+}
+
+void ClaimBoard::refresh(std::size_t job) const {
+  // Rename-replace of our own claim with a fresh stamp.  Only the
+  // holder calls this, well inside its lease; if a stealer evicted us
+  // anyway (extreme descheduling) the refresh re-publishes our claim
+  // and both execute the cell — wasteful, but stores are idempotent.
+  util::atomic_write_file(claim_path(job), claim_body(job), "work claim refresh");
+}
+
+void ClaimBoard::release(std::size_t job) const {
+  std::error_code error;
+  fs::remove(claim_path(job), error);  // best-effort: a leftover claim merely expires
+}
+
+}  // namespace caem::scenario

@@ -21,4 +21,15 @@ namespace caem::util {
 void atomic_write_file(const std::string& path, std::string_view bytes,
                        const std::string& what);
 
+/// Atomically create `path` with `bytes` IFF no file exists there yet:
+/// the content is fully written to a temp name first, then hard-linked
+/// into place, so a successful create publishes complete content and
+/// two racing creators can never both succeed — the mutual-exclusion
+/// primitive the dynamic work-claim protocol is built on (rename, by
+/// contrast, silently replaces and would let the last racer "win" while
+/// both believe they hold the claim).  Returns false when `path`
+/// already exists; throws std::runtime_error on any other failure.
+bool atomic_create_file(const std::string& path, std::string_view bytes,
+                        const std::string& what);
+
 }  // namespace caem::util

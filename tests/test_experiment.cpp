@@ -46,6 +46,44 @@ TEST(ParallelRuns, EmptyAndErrors) {
                std::runtime_error);
 }
 
+TEST(ParallelRunsOrdered, ScattersByOriginalIdWhateverTheDrainOrder) {
+  // Drain order 5,2,0,... must not change which slot each job fills.
+  const std::vector<std::size_t> order = {5, 2, 0, 7, 1, 6, 3, 4};
+  std::vector<std::size_t> started;
+  const auto results = parallel_runs_ordered(
+      8, order,
+      [&](std::size_t i) {
+        started.push_back(i);
+        RunResult result;
+        result.seed = i;
+        return result;
+      },
+      1);
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(results[i].seed, i);
+  // Single-threaded: the ticket counter hands jobs out in drain order.
+  EXPECT_EQ(started, order);
+}
+
+TEST(ParallelRunsOrdered, PartialOrderLeavesOtherSlotsDefault) {
+  const auto results = parallel_runs_ordered(4, {3, 1}, [](std::size_t i) {
+    RunResult result;
+    result.seed = 100 + i;
+    return result;
+  });
+  EXPECT_EQ(results[1].seed, 101u);
+  EXPECT_EQ(results[3].seed, 103u);
+  EXPECT_EQ(results[0].seed, 0u);
+  EXPECT_EQ(results[2].seed, 0u);
+}
+
+TEST(ParallelRunsOrdered, RejectsDuplicateAndOutOfRangeIds) {
+  const auto job = [](std::size_t) { return RunResult{}; };
+  EXPECT_THROW((void)parallel_runs_ordered(4, {0, 1, 1}, job), std::invalid_argument);
+  EXPECT_THROW((void)parallel_runs_ordered(4, {0, 4}, job), std::invalid_argument);
+  EXPECT_TRUE(parallel_runs_ordered(0, {}, job).empty());
+}
+
 TEST(ParallelRuns, MatchesSequentialSimulation) {
   RunOptions options;
   options.max_sim_s = 10.0;

@@ -158,6 +158,39 @@ TEST(RunResultIo, LegacyDocumentsWithoutRoutedCountersReadAsZero) {
   EXPECT_EQ(to_json(loaded), to_json(result));
 }
 
+TEST(RunResultIo, ExecutionStampsRoundTripAndEscape) {
+  RunResult result = sample_result();
+  result.wall_ms = 683.25;
+  result.exec_host = "ci-box\"7\\a";  // quotes/backslashes must be escaped
+  result.exec_pid = 123456;
+  const RunResult loaded = run_result_from_json(to_json(result));
+  EXPECT_EQ(loaded.wall_ms, 683.25);
+  EXPECT_EQ(loaded.exec_host, result.exec_host);
+  EXPECT_EQ(loaded.exec_pid, 123456u);
+  EXPECT_EQ(to_json(loaded), to_json(result));
+}
+
+TEST(RunResultIo, LegacyDocumentsWithoutExecutionStampsReadAsUnrecorded) {
+  // Entries minted before the work-stealing feature carry no wall_ms /
+  // exec_host / exec_pid keys; they read back as the "unrecorded"
+  // sentinels (0 / "" / 0) rather than invalidating the cache.
+  RunResult result = sample_result();
+  result.wall_ms = 0.0;
+  result.exec_host.clear();
+  result.exec_pid = 0;
+  std::string legacy = to_json(result);
+  for (const std::string key : {"wall_ms", "exec_host", "exec_pid"}) {
+    const std::size_t at = legacy.find("\"" + key + "\":");
+    ASSERT_NE(at, std::string::npos) << key;
+    legacy.erase(at, legacy.find(',', at) - at + 1);
+  }
+  const RunResult loaded = run_result_from_json(legacy);
+  EXPECT_EQ(loaded.wall_ms, 0.0);
+  EXPECT_TRUE(loaded.exec_host.empty());
+  EXPECT_EQ(loaded.exec_pid, 0u);
+  EXPECT_EQ(to_json(loaded), to_json(result));
+}
+
 TEST(RunResultIo, RejectsGarbageMissingFieldsAndWrongVersion) {
   EXPECT_THROW((void)run_result_from_json("not json"), std::invalid_argument);
   EXPECT_THROW((void)run_result_from_json("{\"v\":1}"), std::invalid_argument);

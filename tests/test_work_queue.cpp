@@ -1,0 +1,581 @@
+// Tests for dynamic work claiming (the work-stealing distributed
+// sweep): the ClaimBoard acquire/lease/steal/release protocol, the
+// longest-expected-first cost model, worker telemetry markers, the
+// worker-equivalence battery (N dynamic workers + merge == one
+// single-process run, byte for byte), crashed-worker recovery
+// (half-stored cells skipped, stale claims stolen exactly once), the
+// progress reporter, and the worker-mode validation surface.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "scenario/cost_model.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/result_cache.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "scenario/shard_manifest.hpp"
+#include "scenario/sweep.hpp"
+#include "scenario/work_queue.hpp"
+
+namespace caem::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch dir per test (ctest runs tests concurrently).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("caem_wq_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// ClaimBoard rooted in a fresh claims dir (boards never create it —
+/// the engine does — so tests do it here).
+ClaimBoard make_board(const fs::path& cache, const std::string& sweep, double lease_s) {
+  ClaimBoard board(cache.string(), sweep, lease_s);
+  fs::create_directories(board.dir());
+  return board;
+}
+
+constexpr const char* kSweep = "feedfacefeedface";
+
+// ---------------------------------------------------------- claim board
+
+TEST(ClaimBoard, CtorValidatesInputs) {
+  EXPECT_THROW((ClaimBoard("", kSweep, 1.0)), std::invalid_argument);
+  EXPECT_THROW((ClaimBoard("/tmp", "", 1.0)), std::invalid_argument);
+  EXPECT_THROW((ClaimBoard("/tmp", kSweep, 0.0)), std::invalid_argument);
+  EXPECT_THROW((ClaimBoard("/tmp", kSweep, -1.0)), std::invalid_argument);
+}
+
+TEST(ClaimBoard, AcquirePeekReclaimReleaseRoundTrip) {
+  const fs::path cache = scratch_dir("claim_rt");
+  ClaimBoard board = make_board(cache, kSweep, 30.0);
+  EXPECT_EQ(board.peek(3), std::nullopt);  // nothing claimed yet
+
+  const std::uint64_t before = ClaimBoard::now_ms();
+  ASSERT_EQ(board.try_claim(3), ClaimBoard::Claim::kWon);
+  const std::uint64_t after = ClaimBoard::now_ms();
+
+  const auto info = board.peek(3);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->token, board.token());
+  EXPECT_EQ(info->host, board.host());
+  EXPECT_EQ(info->pid, static_cast<std::uint64_t>(::getpid()));
+  EXPECT_EQ(info->job, 3u);
+  EXPECT_EQ(info->lease_s, 30.0);
+  EXPECT_GE(info->epoch_ms, before);
+  EXPECT_LE(info->epoch_ms, after);
+
+  // Re-claiming our own cell is idempotent (crash-restart of the same
+  // board token would be a different token, but a retry loop isn't).
+  EXPECT_EQ(board.try_claim(3), ClaimBoard::Claim::kWon);
+
+  // A second worker sees a fresh foreign claim: busy, no steal.
+  ClaimBoard other = make_board(cache, kSweep, 30.0);
+  EXPECT_NE(other.token(), board.token());
+  EXPECT_EQ(other.try_claim(3), ClaimBoard::Claim::kBusy);
+  EXPECT_EQ(other.stolen(), 0u);
+
+  // Release frees the cell for anyone.
+  board.release(3);
+  EXPECT_EQ(board.peek(3), std::nullopt);
+  EXPECT_EQ(other.try_claim(3), ClaimBoard::Claim::kWon);
+  EXPECT_EQ(other.stolen(), 0u);  // acquired clean, not stolen
+  fs::remove_all(cache);
+}
+
+TEST(ClaimBoard, ContendedAcquireHasExactlyOneWinner) {
+  // The tentpole safety property: N workers race to claim ONE cell and
+  // exactly one wins — link(2) either creates or fails, never replaces.
+  const fs::path cache = scratch_dir("claim_race");
+  constexpr std::size_t kRacers = 8;
+  std::vector<ClaimBoard> boards;
+  boards.reserve(kRacers);
+  for (std::size_t i = 0; i < kRacers; ++i) boards.push_back(make_board(cache, kSweep, 30.0));
+
+  std::atomic<std::size_t> ready{0};
+  std::atomic<std::size_t> wins{0};
+  std::atomic<std::size_t> busy{0};
+  std::vector<std::thread> racers;
+  for (std::size_t i = 0; i < kRacers; ++i) {
+    racers.emplace_back([&, i] {
+      ++ready;
+      while (ready.load() < kRacers) std::this_thread::yield();  // start together
+      if (boards[i].try_claim(0) == ClaimBoard::Claim::kWon) {
+        ++wins;
+      } else {
+        ++busy;
+      }
+    });
+  }
+  for (std::thread& t : racers) t.join();
+  EXPECT_EQ(wins.load(), 1u);
+  EXPECT_EQ(busy.load(), kRacers - 1);
+  std::size_t stolen_total = 0;
+  for (const ClaimBoard& board : boards) stolen_total += board.stolen();
+  EXPECT_EQ(stolen_total, 0u);  // a live race never steals
+  // The standing claim belongs to the winner (some board's token).
+  const auto info = boards[0].peek(0);
+  ASSERT_TRUE(info.has_value());
+  const bool owned = std::any_of(boards.begin(), boards.end(), [&](const ClaimBoard& board) {
+    return board.token() == info->token;
+  });
+  EXPECT_TRUE(owned);
+  fs::remove_all(cache);
+}
+
+TEST(ClaimBoard, StaleClaimIsStolenExactlyOnce) {
+  const fs::path cache = scratch_dir("claim_steal");
+  {
+    // A "crashed" worker: claims with a 50 ms lease and never refreshes.
+    ClaimBoard crashed = make_board(cache, kSweep, 0.05);
+    ASSERT_EQ(crashed.try_claim(7), ClaimBoard::Claim::kWon);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // lease expires
+
+  constexpr std::size_t kStealers = 6;
+  std::vector<ClaimBoard> boards;
+  boards.reserve(kStealers);
+  for (std::size_t i = 0; i < kStealers; ++i) boards.push_back(make_board(cache, kSweep, 30.0));
+  std::atomic<std::size_t> ready{0};
+  std::atomic<std::size_t> wins{0};
+  std::vector<std::thread> stealers;
+  for (std::size_t i = 0; i < kStealers; ++i) {
+    stealers.emplace_back([&, i] {
+      ++ready;
+      while (ready.load() < kStealers) std::this_thread::yield();
+      if (boards[i].try_claim(7) == ClaimBoard::Claim::kWon) ++wins;
+    });
+  }
+  for (std::thread& t : stealers) t.join();
+
+  // Exactly one racer ended up holding the cell, and the stale claim
+  // was evicted exactly once across ALL racers (the rename is the
+  // test-and-take; losers observed the winner's fresh claim as busy).
+  EXPECT_EQ(wins.load(), 1u);
+  std::size_t stolen_total = 0;
+  for (const ClaimBoard& board : boards) stolen_total += board.stolen();
+  EXPECT_EQ(stolen_total, 1u);
+  const auto info = boards[0].peek(7);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_NE(info->lease_s, 0.05);  // the new holder's claim, not the corpse
+  fs::remove_all(cache);
+}
+
+TEST(ClaimBoard, RefreshKeepsALongRunningHolderSafe) {
+  // A healthy holder refreshing inside its lease is never stolen from,
+  // even when the cell takes many leases to compute.
+  const fs::path cache = scratch_dir("claim_refresh");
+  ClaimBoard holder = make_board(cache, kSweep, 1.0);
+  ClaimBoard vulture = make_board(cache, kSweep, 1.0);
+  ASSERT_EQ(holder.try_claim(2), ClaimBoard::Claim::kWon);
+  for (int i = 0; i < 6; ++i) {  // 1.5 s total: past the lease without refresh
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    holder.refresh(2);
+    EXPECT_EQ(vulture.try_claim(2), ClaimBoard::Claim::kBusy) << "iteration " << i;
+  }
+  EXPECT_EQ(vulture.stolen(), 0u);
+  const auto info = holder.peek(2);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->token, holder.token());
+  fs::remove_all(cache);
+}
+
+TEST(ClaimBoard, CorruptClaimIsEvictedNotTrusted) {
+  const fs::path cache = scratch_dir("claim_corrupt");
+  ClaimBoard board = make_board(cache, kSweep, 30.0);
+  const fs::path corrupt = fs::path(board.dir()) / "job_4.claim";
+  std::ofstream(corrupt, std::ios::trunc) << "torn half-written gar";
+  EXPECT_EQ(board.peek(4), std::nullopt);  // unreadable, never data
+  EXPECT_EQ(board.try_claim(4), ClaimBoard::Claim::kWon);
+  EXPECT_EQ(board.stolen(), 1u);  // the corpse was evicted, then acquired
+  const auto info = board.peek(4);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->token, board.token());
+  fs::remove_all(cache);
+}
+
+// ----------------------------------------------------------- cost model
+
+TEST(CostModel, StaticCostIsNodesTimesHorizon) {
+  EXPECT_EQ(CostModel::static_cost(100, 2.0), 200.0);
+  EXPECT_EQ(CostModel::static_cost(0, 5.0), 0.0);
+}
+
+TEST(CostModel, FamilyMeanRefinesAndCalibratesColdFamilies) {
+  CostModel model;
+  // Nothing measured: raw a-priori cost.
+  EXPECT_EQ(model.estimate_ms("leach", 10, 8.0), 80.0);
+  EXPECT_EQ(model.observations(), 0u);
+
+  // Unrecorded legacy walls are ignored.
+  model.observe("leach", 10, 8.0, 0.0);
+  model.observe("leach", 10, 8.0, -3.0);
+  EXPECT_EQ(model.observations(), 0u);
+  EXPECT_EQ(model.estimate_ms("leach", 10, 8.0), 80.0);
+
+  // Two measurements for (leach, 10): the family estimate is their mean.
+  model.observe("leach", 10, 8.0, 300.0);
+  model.observe("leach", 10, 8.0, 500.0);
+  EXPECT_EQ(model.observations(), 2u);
+  EXPECT_EQ(model.estimate_ms("leach", 10, 8.0), 400.0);
+
+  // A COLD family scales its a-priori cost by the global measured /
+  // a-priori ratio (800 measured over 160 static = 5x), so warmed and
+  // cold families stay comparable in one queue.
+  EXPECT_EQ(model.estimate_ms("leach", 20, 8.0), 800.0);
+  EXPECT_EQ(model.estimate_ms("scheme2", 10, 8.0), 400.0);
+
+  // Protocol is part of the family key: measuring scheme2 separately
+  // leaves the leach family mean untouched.
+  model.observe("scheme2", 10, 8.0, 100.0);
+  EXPECT_EQ(model.estimate_ms("scheme2", 10, 8.0), 100.0);
+  EXPECT_EQ(model.estimate_ms("leach", 10, 8.0), 400.0);
+}
+
+TEST(CostOrder, DescendingWithTiesTowardLowerId) {
+  const std::vector<std::size_t> jobs = {0, 1, 2, 3, 4};
+  const std::vector<double> costs = {5.0, 9.0, 9.0, 1.0, 9.0};
+  const auto order = cost_order(jobs, [&](std::size_t j) { return costs[j]; });
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 4, 0, 3}));
+  EXPECT_TRUE(cost_order({}, [](std::size_t) { return 0.0; }).empty());
+  EXPECT_THROW((void)cost_order(jobs, nullptr), std::invalid_argument);
+}
+
+// ------------------------------------------------------- worker markers
+
+TEST(Manifest, WorkerMarkerRoundTripAndDisjointCensus) {
+  const fs::path dir = scratch_dir("worker_marker");
+  const ShardManifest manifest(dir.string(), kSweep);
+  EXPECT_TRUE(manifest.collect_workers().empty());
+
+  WorkerMarker marker;
+  marker.token = "box-a:4242:0-cafe";
+  marker.host = "box-a";
+  marker.pid = 4242;
+  marker.total_jobs = 8;
+  marker.cache_hits = 3;
+  marker.stolen = 1;
+  marker.wall_ms = 1234.5;
+  marker.stored = {2, 5, 6};
+  manifest.write_worker_done(marker);
+
+  // A shard marker beside it: the two censuses never mix (the shard_
+  // filename prefix keeps them disjoint).
+  ShardMarker shard;
+  shard.shard = 1;
+  shard.of = 2;
+  shard.total_jobs = 8;
+  shard.stored = {0};
+  manifest.write_done(shard);
+
+  const auto workers = manifest.collect_workers();
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0].token, marker.token);  // exact, despite filename sanitising
+  EXPECT_EQ(workers[0].host, "box-a");
+  EXPECT_EQ(workers[0].pid, 4242u);
+  EXPECT_EQ(workers[0].total_jobs, 8u);
+  EXPECT_EQ(workers[0].cache_hits, 3u);
+  EXPECT_EQ(workers[0].stolen, 1u);
+  EXPECT_EQ(workers[0].wall_ms, 1234.5);
+  EXPECT_EQ(workers[0].stored, (std::vector<std::size_t>{2, 5, 6}));
+  ASSERT_EQ(manifest.collect().size(), 1u);
+  EXPECT_EQ(manifest.collect()[0].shard, 1u);
+
+  // The ':' characters never reach the filesystem name.
+  EXPECT_EQ(manifest.worker_marker_path(marker.token).find(':'), std::string::npos);
+
+  // Corrupt and foreign-sweep reports are skipped, never data.
+  std::ofstream(fs::path(manifest.dir()) / "worker_torn.done", std::ios::trunc) << "v = 1\npid = x";
+  std::ofstream(fs::path(manifest.dir()) / "worker_foreign.done", std::ios::trunc)
+      << "v = 1\nsweep = 0000000000000000\ntoken = ghost\nstored = \n";
+  EXPECT_EQ(manifest.collect_workers().size(), 1u);
+
+  WorkerMarker anonymous;  // empty token would be unaddressable
+  EXPECT_THROW(manifest.write_worker_done(anonymous), std::invalid_argument);
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------------- engine battery prep
+
+ScenarioSpec battery_spec() {
+  ScenarioSpec spec;
+  spec.name = "workerbat";
+  spec.base_config.node_count = 10;
+  spec.base_config.field_size_m = 40.0;
+  spec.base_config.ch_fraction = 0.2;
+  spec.base_config.round_duration_s = 5.0;
+  spec.base_seed = 42;
+  spec.replications = 2;
+  spec.options.max_sim_s = 8.0;
+  spec.threads = 1;
+  spec.protocols = {core::protocol_from_string("leach"), core::protocol_from_string("scheme2")};
+  spec.axes = {Axis{"traffic_rate_pps", {"3", "6"}}};
+  return spec;  // 2 points x 2 protocols x 2 reps = 8 jobs
+}
+
+/// Entry path of every flattened job, in job order.
+std::vector<std::string> job_paths(const ScenarioSpec& spec, const ResultCache& cache) {
+  const std::vector<GridPoint> grid = expand_grid(spec.axes);
+  std::vector<std::string> paths(spec.total_jobs());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const JobCoords c = job_coords(spec, i);
+    paths[i] = cache.entry_path(spec.config_at(grid[c.point]), spec.protocols[c.protocol],
+                                spec.base_seed + c.rep, spec.options);
+  }
+  return paths;
+}
+
+/// The sweep digest of the spec's flattened job list.
+std::string digest_of(const ScenarioSpec& spec, const ResultCache& cache) {
+  const std::vector<GridPoint> grid = expand_grid(spec.axes);
+  std::vector<std::string> keys(spec.total_jobs());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const JobCoords c = job_coords(spec, i);
+    keys[i] = cache.entry_key(spec.config_at(grid[c.point]), spec.protocols[c.protocol],
+                              spec.base_seed + c.rep, spec.options);
+  }
+  return sweep_digest(keys);
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Artifacts {
+  std::string csv;
+  std::string json;
+  std::map<std::string, std::string> traces;  ///< filename -> bytes
+};
+
+/// Render CSV + JSON + trace artifacts of `result` into `dir`.
+Artifacts render_to(const ScenarioResult& result, ScenarioSpec spec, const fs::path& dir) {
+  spec.csv_path = (dir / "out.csv").string();
+  spec.json_path = (dir / "out.json").string();
+  spec.trace_dir = (dir / "traces").string();
+  spec.trace_points = 9;
+  std::ostringstream log;
+  write_outputs(result, spec, log);
+  Artifacts artifacts;
+  artifacts.csv = read_file(spec.csv_path);
+  artifacts.json = read_file(spec.json_path);
+  for (const auto& entry : fs::directory_iterator(spec.trace_dir)) {
+    artifacts.traces[entry.path().filename().string()] = read_file(entry.path());
+  }
+  return artifacts;
+}
+
+// ----------------------------------------------- equivalence battery
+
+TEST(Worker, ConcurrentWorkersPlusMergeMatchSingleProcessByteForByte) {
+  const ScenarioSpec spec = battery_spec();
+
+  // Reference: one uncached single-process run — dynamic claiming must
+  // reproduce pure in-memory compute exactly.
+  const fs::path ref_dir = scratch_dir("worker_ref");
+  const ScenarioResult reference = run_scenario(spec);
+  const Artifacts ref = render_to(reference, spec, ref_dir);
+
+  const fs::path cache_dir = scratch_dir("worker_cache");
+  constexpr std::size_t kWorkers = 3;
+  std::vector<ScenarioResult> results(kWorkers);
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    workers.emplace_back([&, i] {
+      ScenarioSpec worker = spec;
+      worker.cache_dir = cache_dir.string();
+      worker.worker_mode = true;
+      results[i] = run_scenario(worker);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::set<std::size_t> stored_union;
+  std::set<std::string> tokens;
+  std::size_t executed_total = 0;
+  for (const ScenarioResult& result : results) {
+    EXPECT_TRUE(result.worker_mode);
+    EXPECT_TRUE(result.points.empty());  // partial run: the merge folds
+    EXPECT_FALSE(result.worker_token.empty());
+    EXPECT_TRUE(tokens.insert(result.worker_token).second);
+    // A worker that ran to completion observed every cell: the ones it
+    // executed plus the ones it found stored (at scan time or by losing
+    // a claim race mid-drain).
+    EXPECT_EQ(result.cache_hits + result.executed_jobs, result.total_jobs);
+    EXPECT_EQ(result.cache_misses, result.executed_jobs);
+    EXPECT_EQ(result.claims_stolen, 0u);  // nobody crashed: no steals
+    EXPECT_TRUE(fs::exists(result.marker_path));
+    executed_total += result.executed_jobs;
+    const auto markers = ShardManifest(cache_dir.string(), result.sweep_digest).collect_workers();
+    const auto mine = std::find_if(markers.begin(), markers.end(), [&](const WorkerMarker& m) {
+      return m.token == result.worker_token;
+    });
+    ASSERT_NE(mine, markers.end());
+    EXPECT_EQ(mine->stored.size(), result.executed_jobs);
+    EXPECT_EQ(mine->cache_hits, result.cache_hits);
+    for (const std::size_t job : mine->stored) {
+      EXPECT_TRUE(stored_union.insert(job).second) << "job " << job << " executed twice";
+    }
+  }
+  // Claims partition the queue: every cell executed exactly once, by
+  // somebody.
+  EXPECT_EQ(executed_total, spec.total_jobs());
+  EXPECT_EQ(stored_union.size(), spec.total_jobs());
+
+  // Merge: pure cache hits, straggler census present, artifacts
+  // byte-identical to the uncached reference.
+  ScenarioSpec merge = spec;
+  merge.cache_dir = cache_dir.string();
+  merge.merge_shards = true;
+  const ScenarioResult merged = run_scenario(merge);
+  EXPECT_EQ(merged.executed_jobs, 0u);
+  EXPECT_EQ(merged.cache_hits, spec.total_jobs());
+  ASSERT_EQ(merged.workers.size(), kWorkers);
+  const fs::path merged_dir = scratch_dir("worker_merged");
+  const Artifacts out = render_to(merged, spec, merged_dir);
+  EXPECT_EQ(out.csv, ref.csv);
+  EXPECT_EQ(out.json, ref.json);
+  EXPECT_EQ(out.traces, ref.traces);
+  fs::remove_all(ref_dir);
+  fs::remove_all(cache_dir);
+  fs::remove_all(merged_dir);
+}
+
+// ------------------------------------------------ crashed-worker recovery
+
+TEST(Worker, HalfStoredCellsAreSkippedAndStaleClaimsStolenExactlyOnce) {
+  // Simulate a worker that died mid-drain: jobs 0..3 durably stored
+  // (the traffic=3 point pre-warms them), a stale claim left on a
+  // STORED cell (job 1: killed between store and release) and on an
+  // UNSTORED cell (job 5: killed mid-execute).  A fresh worker must
+  // treat job 1 as done — completion comes from the cache, never from
+  // claims — and steal job 5's corpse exactly once.
+  const ScenarioSpec spec = battery_spec();
+  const fs::path cache_dir = scratch_dir("worker_crash");
+  {
+    ScenarioSpec prewarm = spec;
+    prewarm.axes = {Axis{"traffic_rate_pps", {"3"}}};
+    prewarm.cache_dir = cache_dir.string();
+    (void)run_scenario(prewarm);
+  }
+  const ResultCache cache(cache_dir.string());
+  const std::vector<std::string> paths = job_paths(spec, cache);
+  ASSERT_TRUE(cache.load(paths[1]).has_value());
+  ASSERT_FALSE(cache.load(paths[5]).has_value());
+  const std::string half_stored_bytes = read_file(paths[1]);
+
+  const std::string digest = digest_of(spec, cache);
+  const fs::path claims = fs::path(cache_dir) / "sweeps" / digest / "claims";
+  fs::create_directories(claims);
+  for (const std::size_t job : {std::size_t{1}, std::size_t{5}}) {
+    std::ofstream(claims / ("job_" + std::to_string(job) + ".claim"), std::ios::trunc)
+        << "v = 1\nsweep = " << digest << "\njob = " << job
+        << "\ntoken = ghost:1:0-dead\nhost = ghost\npid = 1\nepoch_ms = 1000\nlease_s = 0.01\n";
+  }
+
+  ScenarioSpec worker = spec;
+  worker.cache_dir = cache_dir.string();
+  worker.worker_mode = true;
+  const ScenarioResult result = run_scenario(worker);
+  EXPECT_EQ(result.sweep_digest, digest);
+  EXPECT_EQ(result.executed_jobs, 4u);  // exactly the unstored cells
+  EXPECT_EQ(result.cache_hits, 4u);
+  EXPECT_EQ(result.claims_stolen, 1u);  // job 5's corpse, not job 1's
+
+  // The half-stored cell was never re-executed or re-stored...
+  EXPECT_EQ(read_file(paths[1]), half_stored_bytes);
+  // ...its stale claim was never even touched (the cache hit
+  // short-circuits before any claim traffic)...
+  EXPECT_TRUE(fs::exists(claims / "job_1.claim"));
+  // ...while the stolen cell's claim was released after the store.
+  EXPECT_FALSE(fs::exists(claims / "job_5.claim"));
+  for (const std::string& path : paths) EXPECT_TRUE(cache.load(path).has_value());
+  fs::remove_all(cache_dir);
+}
+
+// ---------------------------------------------------- progress + guards
+
+TEST(Progress, PeriodicReportReachesTheInjectedStream) {
+  ScenarioSpec spec = battery_spec();
+  std::ostringstream progress;
+  spec.progress_s = 0.001;  // fire effectively every drained cell
+  spec.progress_stream = &progress;
+  (void)run_scenario(spec);
+  const std::string text = progress.str();
+  EXPECT_NE(text.find("progress: "), std::string::npos) << text;
+  EXPECT_NE(text.find("cells/s"), std::string::npos) << text;
+  EXPECT_NE(text.find("/8 cell"), std::string::npos) << text;
+}
+
+TEST(Worker, ValidationSurface) {
+  {  // worker mode without a cache has no coordination substrate
+    ScenarioSpec spec = battery_spec();
+    spec.worker_mode = true;
+    EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  }
+  {  // static partition and dynamic claiming are mutually exclusive
+    ScenarioSpec spec = battery_spec();
+    spec.cache_dir = scratch_dir("worker_val_shard").string();
+    spec.worker_mode = true;
+    spec.shard_index = 1;
+    spec.shard_count = 2;
+    EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  }
+  {  // a worker never folds; merging is the folder's job
+    ScenarioSpec spec = battery_spec();
+    spec.cache_dir = scratch_dir("worker_val_merge").string();
+    spec.worker_mode = true;
+    spec.merge_shards = true;
+    EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  }
+  {  // a non-positive lease would make every claim instantly stale
+    ScenarioSpec spec = battery_spec();
+    spec.cache_dir = scratch_dir("worker_val_lease").string();
+    spec.worker_mode = true;
+    spec.lease_s = 0.0;
+    EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  }
+}
+
+// ------------------------------------------------------------ provenance
+
+TEST(Cache, StoredEntriesCarryExecutionStamps) {
+  // Every cell the engine stores records its measured wall and executor
+  // identity — the raw material of the cost model and the straggler
+  // census.  The stamps ride the CACHE entry only; in-memory results
+  // stay pure SimulationRunner output (the serialized-identity
+  // contract).
+  const ScenarioSpec base = battery_spec();
+  const fs::path cache_dir = scratch_dir("provenance");
+  ScenarioSpec spec = base;
+  spec.cache_dir = cache_dir.string();
+  (void)run_scenario(spec);
+  const ResultCache cache(cache_dir.string());
+  for (const std::string& path : job_paths(base, cache)) {
+    const auto entry = cache.load(path);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_GT(entry->wall_ms, 0.0);
+    EXPECT_FALSE(entry->exec_host.empty());
+    EXPECT_EQ(entry->exec_pid, static_cast<std::uint64_t>(::getpid()));
+  }
+  fs::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace caem::scenario
