@@ -1,0 +1,313 @@
+// bench_serve — acceptance harness for `caem serve` and the
+// utility-managed result store (service/).
+//
+// Phase A exercises the full service stack over a REAL loopback HTTP
+// round-trip, exactly the path `caem submit --wait` takes: start the
+// service + endpoint in-process, POST a sweep, poll its progress
+// document to completion (measuring per-poll latency — the document is
+// served from atomics under a mutex and must stay cheap while K drain
+// threads compute), then fetch the rendered artifacts and compare them
+// BYTE-IDENTICALLY against a direct single-process run of the same
+// scenario text.  Identity is the service's core promise: submitting
+// through the daemon must change operational posture, never results.
+//
+// Phase B checks the janitor's eviction POLICY on a synthetic store
+// with known per-entry utilities (touches x wall_ms / bytes): with the
+// budget set to the exact byte-sum of the top-K entries, one sweep must
+// evict precisely the N-K lowest-utility entries and nothing else; a
+// second sweep with the lowest-utility entry pinned must spare it even
+// though the store then stays over budget.
+//
+// Exit code enforces the PR's acceptance gates: artifacts identical,
+// sweep reached "done", eviction in exact utility order, pins
+// respected.
+//
+// Usage: bench_serve [--fast] [key=value ...]
+//   workers=<n>   service drain threads (default 2)
+//   seed=<n>      master seed (default 2005)
+//   sim_s=<t>     horizon per cell (default 8)
+//   json=<path>   output path (default BENCH_serve.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/simulation_runner.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/result_cache.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "service/cache_janitor.hpp"
+#include "service/http_endpoint.hpp"
+#include "service/sweep_service.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace caem;
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// The scenario text POSTed to the service and run directly for the
+/// reference — byte identity starts from literally the same bytes in.
+std::string scenario_text(std::uint64_t seed, double sim_s, bool fast) {
+  std::ostringstream text;
+  text << "scenario.name = bench-serve\n"
+          "scenario.protocols = leach,scheme2\n"
+          "scenario.seed = "
+       << seed
+       << "\n"
+          "scenario.reps = 2\n"
+          "scenario.max_sim_s = "
+       << sim_s
+       << "\n"
+          "sweep.traffic_rate_pps = "
+       << (fast ? "list:3,6" : "list:3,4,5,6")
+       << "\n"
+          "node_count = 10\n"
+          "field_size_m = 40\n"
+          "ch_fraction = 0.2\n"
+          "round_duration_s = 5\n";
+  return text.str();
+}
+
+double ms_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--fast") {
+      fast = true;
+    } else {
+      tokens.push_back(token);
+    }
+  }
+  std::uint64_t seed = 2005;
+  double sim_s = 8.0;
+  std::size_t workers = 2;
+  std::string json_path = "BENCH_serve.json";
+  try {
+    const util::Config overrides = util::Config::from_args(tokens);
+    fast = overrides.get_bool("fast", fast);
+    seed = static_cast<std::uint64_t>(overrides.get_int("seed", 2005));
+    sim_s = overrides.get_double("sim_s", 8.0);
+    workers = static_cast<std::size_t>(overrides.get_int("workers", 2));
+    json_path = overrides.get_string("json", json_path);
+    const std::vector<std::string> typos = overrides.unconsumed();
+    if (!typos.empty()) {
+      std::cerr << "unknown override key(s):";
+      for (const std::string& key : typos) std::cerr << " '" << key << "'";
+      std::cerr << "\n";
+      return 1;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "bad arguments: " << error.what() << "\n";
+    return 1;
+  }
+  if (workers < 1) {
+    std::cerr << "workers must be >= 1\n";
+    return 1;
+  }
+
+  const std::string text = scenario_text(seed, sim_s, fast);
+  std::printf("==== bench_serve ====\n");
+
+  // -- Phase A reference: direct single-process run of the same text --
+  const fs::path scratch =
+      fs::temp_directory_path() / ("bench_serve_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  fs::create_directories(scratch / "ref");
+  scenario::ScenarioSpec direct =
+      scenario::ScenarioSpec::from_config(util::Config::from_text(text));
+  direct.csv_path = (scratch / "ref" / "out.csv").string();
+  direct.json_path = (scratch / "ref" / "out.json").string();
+  const std::size_t jobs = direct.total_jobs();
+  std::printf("sweep: %zu cell(s), %zu service drain thread(s)\n", jobs, workers);
+  const auto ref_start = std::chrono::steady_clock::now();
+  const scenario::ScenarioResult reference = scenario::run_scenario(direct);
+  std::ostringstream ref_log;
+  scenario::write_outputs(reference, direct, ref_log);
+  const double direct_ms = ms_since(ref_start);
+  const std::string reference_csv = read_file(direct.csv_path);
+  const std::string reference_json = read_file(direct.json_path);
+
+  // -- Phase A: service round-trip over loopback HTTP --
+  service::ServeConfig config;
+  config.store_dir = (scratch / "store").string();
+  config.drain_threads = workers;
+  config.lease_s = 10.0;
+  config.janitor_interval_s = 0.0;  // phase B owns eviction
+  service::SweepService service(config);
+  service::HttpEndpoint endpoint(0, [&service](const service::HttpRequest& request) {
+    return service.handle(request);
+  });
+  std::printf("service: listening on 127.0.0.1:%u\n", endpoint.port());
+
+  const auto submit_start = std::chrono::steady_clock::now();
+  const service::HttpResponse created =
+      service::http_request(endpoint.port(), "POST", "/sweeps", text);
+  bool done = false;
+  bool artifacts_identical = false;
+  double submit_to_done_ms = 0.0;
+  double poll_total_ms = 0.0;
+  double poll_max_ms = 0.0;
+  std::size_t polls = 0;
+  if (created.status != 201) {
+    std::fprintf(stderr, "submit failed: %d %s\n", created.status, created.body.c_str());
+  } else {
+    while (ms_since(submit_start) < 300000.0) {
+      const auto poll_start = std::chrono::steady_clock::now();
+      const service::HttpResponse status =
+          service::http_request(endpoint.port(), "GET", "/sweeps/s1");
+      const double poll_ms = ms_since(poll_start);
+      poll_total_ms += poll_ms;
+      poll_max_ms = std::max(poll_max_ms, poll_ms);
+      ++polls;
+      if (status.status != 200) break;
+      if (contains(status.body, "\"state\":\"done\"")) {
+        done = true;
+        break;
+      }
+      if (contains(status.body, "\"state\":\"failed\"") ||
+          contains(status.body, "\"state\":\"cancelled\"")) {
+        std::fprintf(stderr, "sweep did not finish: %s\n", status.body.c_str());
+        break;
+      }
+    }
+    submit_to_done_ms = ms_since(submit_start);
+    if (done) {
+      const service::HttpResponse csv =
+          service::http_request(endpoint.port(), "GET", "/sweeps/s1/artifacts/out.csv");
+      const service::HttpResponse json =
+          service::http_request(endpoint.port(), "GET", "/sweeps/s1/artifacts/out.json");
+      artifacts_identical = csv.status == 200 && json.status == 200 &&
+                            csv.body == reference_csv && json.body == reference_json;
+    }
+  }
+  const double poll_mean_ms = polls > 0 ? poll_total_ms / static_cast<double>(polls) : 0.0;
+  endpoint.stop();
+  service.stop();
+  std::printf("submit -> done: %.0f ms over HTTP (%zu poll(s), mean %.2f ms, max %.2f ms); "
+              "direct run %.0f ms\n",
+              submit_to_done_ms, polls, poll_mean_ms, poll_max_ms, direct_ms);
+  std::printf("artifacts %s the direct run\n",
+              artifacts_identical ? "MATCH" : "DIFFER FROM");
+
+  // -- Phase B: eviction policy on a synthetic store --
+  const fs::path policy_store = scratch / "policy";
+  const scenario::ResultCache cache(policy_store.string());
+  const std::size_t entries_total = 24;
+  const std::size_t keep = 8;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < entries_total; ++i) {
+    core::RunResult result;
+    result.wall_ms = 50.0 + 10.0 * static_cast<double>(i);
+    char digest[17];
+    std::snprintf(digest, sizeof(digest), "%016zx", i);
+    const std::string path =
+        (policy_store / digest / ("leach_s" + std::to_string(i) + "_h8_d0.json")).string();
+    cache.store(path, result);
+    for (std::size_t t = 0; t < i; ++t) cache.touch(path);  // utility ascends with i
+    paths.push_back(path);
+  }
+  // Rank by the janitor's own score from the actual on-disk weights,
+  // then set the budget to the exact byte-sum of the top `keep` — one
+  // sweep must evict precisely the rest, in ascending-utility order.
+  std::vector<scenario::CacheEntryInfo> infos = cache.enumerate();
+  std::sort(infos.begin(), infos.end(),
+            [](const scenario::CacheEntryInfo& a, const scenario::CacheEntryInfo& b) {
+              const double ua = static_cast<double>(a.touches) * a.wall_ms /
+                                static_cast<double>(a.bytes);
+              const double ub = static_cast<double>(b.touches) * b.wall_ms /
+                                static_cast<double>(b.bytes);
+              return ua > ub;
+            });
+  std::uint64_t budget = 0;
+  std::set<std::string> expected_survivors;
+  for (std::size_t i = 0; i < keep && i < infos.size(); ++i) {
+    budget += infos[i].bytes;
+    expected_survivors.insert(infos[i].path);
+  }
+  service::CacheJanitor janitor(policy_store.string(), budget);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const service::JanitorReport report = janitor.sweep_once();
+  const double janitor_sweep_ms = ms_since(sweep_start);
+  std::set<std::string> survivors;
+  for (const scenario::CacheEntryInfo& entry : cache.enumerate()) survivors.insert(entry.path);
+  const bool eviction_order_correct =
+      report.evicted == entries_total - keep && survivors == expected_survivors;
+  std::printf("janitor: %zu/%zu entr(ies) evicted to fit %llu bytes in %.2f ms -> %s\n",
+              report.evicted, report.entries,
+              static_cast<unsigned long long>(report.budget_bytes), janitor_sweep_ms,
+              eviction_order_correct ? "exact utility order" : "WRONG SET SURVIVED");
+
+  // Pins: the lowest-utility survivor pinned, budget forcing eviction —
+  // it must be spared even though the store stays over budget.
+  const std::string pinned = infos[keep - 1].path;  // lowest utility still on disk
+  service::CacheJanitor pinning(policy_store.string(), 1,
+                                [&pinned] { return std::vector<std::string>{pinned}; });
+  const service::JanitorReport pin_report = pinning.sweep_once();
+  const bool pin_respected = fs::exists(pinned) && pin_report.pinned_kept >= 1;
+  std::printf("pins: lowest-utility entry %s under a 1-byte budget (%zu spared)\n",
+              pin_respected ? "survived" : "WAS EVICTED", pin_report.pinned_kept);
+  fs::remove_all(scratch);
+
+  const bool pass = done && artifacts_identical && eviction_order_correct && pin_respected;
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"workload\": \"%zu-cell sweep submitted over loopback HTTP, %zu drain "
+               "thread(s); synthetic %zu-entry store for eviction policy\",\n"
+               "  \"jobs\": %zu,\n"
+               "  \"workers\": %zu,\n"
+               "  \"direct_run_ms\": %.1f,\n"
+               "  \"submit_to_done_ms\": %.1f,\n"
+               "  \"status_polls\": %zu,\n"
+               "  \"poll_mean_ms\": %.3f,\n"
+               "  \"poll_max_ms\": %.3f,\n"
+               "  \"artifacts_identical\": %s,\n"
+               "  \"store_entries\": %zu,\n"
+               "  \"evicted\": %zu,\n"
+               "  \"janitor_sweep_ms\": %.3f,\n"
+               "  \"eviction_order_correct\": %s,\n"
+               "  \"pin_respected\": %s,\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               jobs, workers, entries_total, jobs, workers, direct_ms, submit_to_done_ms, polls,
+               poll_mean_ms, poll_max_ms, artifacts_identical ? "true" : "false", entries_total,
+               report.evicted, janitor_sweep_ms, eviction_order_correct ? "true" : "false",
+               pin_respected ? "true" : "false", pass ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nBENCH_serve -> %s\n", json_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -4,6 +4,10 @@
 //   caem merge <scenario.scn> [flags] [key=value ...]   complete + fold a sharded sweep
 //   caem expand <scenario.scn> [key=value ...]          print the grid, run nothing
 //   caem protocols                                      list the protocol registry
+//   caem serve serve.store_dir=<dir> [serve.* ...]      long-running sweep service
+//   caem submit <scenario.scn> [--wait] [key=value ...] POST a sweep to the service
+//   caem status [--port|--store] [<id>]                 sweep progress / service stats
+//   caem fetch <id> <path> [--out=<file>]               download a finished artifact
 //   caem help                                           usage
 //
 // Flags:
@@ -32,18 +36,45 @@
 // sharded launch (and the merge) must receive the SAME overrides —
 // config-affecting overrides change the sweep digest, and mismatched
 // shards would simply work on different sweeps.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/protocol.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/scenario_spec.hpp"
 #include "scenario/shard_manifest.hpp"
+#include "service/http_endpoint.hpp"
+#include "service/sweep_service.hpp"
+#include "util/atomic_file.hpp"
+#include "util/numeric.hpp"
 #include "util/table_writer.hpp"
 
 namespace {
+
+/// SIGINT/SIGTERM latch.  The handler only sets the flag (the one
+/// async-signal-safe thing worth doing); `caem serve` and `caem run
+/// --worker` poll it — the worker through ScenarioSpec::cancel, so an
+/// interrupted drain finishes its current cell, releases its claim,
+/// still writes its telemetry marker, and exits instead of leaving a
+/// stale claim for peers to wait a whole lease on.
+std::atomic<bool> g_interrupted{false};
+
+void install_interrupt_handler() {
+  struct sigaction action {};
+  action.sa_handler = [](int) { g_interrupted.store(true); };
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
 
 int usage(std::ostream& out, int exit_code) {
   out << "usage:\n"
@@ -54,6 +85,20 @@ int usage(std::ostream& out, int exit_code) {
          "  caem expand <scenario.scn> [key=value ...]       show grid points without running\n"
          "  caem protocols      list registered protocols (scenario.protocols accepts any\n"
          "                      name or alias shown there)\n"
+         "  caem serve serve.store_dir=<dir> [serve.port=0] [serve.store_budget_bytes=N]\n"
+         "             [serve.workers=K] [serve.lease_s=S] [serve.janitor_interval_s=S]\n"
+         "                      long-running sweep service on 127.0.0.1 (port 0 = pick one);\n"
+         "                      owns the result store, drains submitted sweeps with K\n"
+         "                      worker-mode threads, bounds the store to the byte budget by\n"
+         "                      utility-ordered eviction (0 = unbounded); writes the chosen\n"
+         "                      port to <dir>/serve.endpoint; SIGINT/SIGTERM stop it cleanly\n"
+         "  caem submit <scenario.scn> [--port=<p>|--store=<dir>] [--wait] [key=value ...]\n"
+         "                      POST a sweep to a running service; prints the sweep id;\n"
+         "                      --wait polls until it finishes (exit 0 only when done)\n"
+         "  caem status [--port=<p>|--store=<dir>] [<id>]\n"
+         "                      progress JSON for one sweep, or service /stats without an id\n"
+         "  caem fetch <id> <artifact-path> [--port=<p>|--store=<dir>] [--out=<file>]\n"
+         "                      download one artifact of a finished sweep (stdout by default)\n"
          "  caem help\n"
          "\n"
          "flags (run/merge):\n"
@@ -115,15 +160,12 @@ struct CliArgs {
 /// Strictly-positive seconds for --lease/--progress; rejects trailing
 /// junk and non-positive values by name.
 double parse_seconds(const std::string& flag, const std::string& text) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size() || !(value > 0.0)) throw std::invalid_argument("bad");
-    return value;
-  } catch (const std::exception&) {
+  const std::optional<double> value = caem::util::parse_double(text);
+  if (!value || !(*value > 0.0)) {
     throw std::invalid_argument(flag + " expects a positive number of seconds, got '" + text +
                                 "'");
   }
+  return *value;
 }
 
 CliArgs parse_cli(int argc, char** argv, int first) {
@@ -225,9 +267,26 @@ int run_command(int argc, char** argv, bool merge) {
   if (cli.lease_s > 0.0) spec.lease_s = cli.lease_s;
   spec.progress_s = cli.progress_s;
   if (merge || cli.require_complete) spec.merge_shards = true;
+  if (spec.worker_mode) {
+    // A worker killed mid-drain used to leave its current claim behind
+    // until a peer waited out the whole lease.  Latch SIGINT/SIGTERM
+    // into the cooperative-cancel hook instead: the worker finishes the
+    // cell it holds, releases the claim, writes its telemetry marker
+    // and exits 130 — nothing for the survivors to steal.
+    install_interrupt_handler();
+    spec.cancel = &g_interrupted;
+  }
   print_banner(spec, std::cout);
   std::cout << "\n";
   const caem::scenario::ScenarioResult result = caem::scenario::run_scenario(spec);
+  if (result.worker_mode && result.cancelled) {
+    std::cout << "worker " << result.worker_token << ": interrupted — stopped after "
+              << result.executed_jobs << " cell(s) executed, " << result.cache_hits
+              << " found cached; held claim released, marker written\n"
+              << "marker: " << result.marker_path << "\n"
+              << "wall clock: " << caem::util::format_fixed(result.wall_s, 2) << " s\n";
+    return 130;
+  }
   if (result.worker_mode) {
     // Partial run: the fold and the artifacts belong to the merge step.
     std::cout << "worker " << result.worker_token << ": " << result.executed_jobs
@@ -348,6 +407,234 @@ int expand_command(int argc, char** argv) {
   return 0;
 }
 
+/// "<store>/serve.endpoint" — written by `caem serve` after binding, so
+/// client verbs pointed at the store find the daemon's (possibly
+/// ephemeral) port without the caller tracking it.
+std::string endpoint_file(const std::string& store_dir) {
+  return store_dir + "/serve.endpoint";
+}
+
+/// --port wins; otherwise the store's endpoint file names the port.
+std::uint16_t resolve_port(const std::string& port_text, const std::string& store_dir) {
+  if (!port_text.empty()) {
+    const std::optional<unsigned long long> port = caem::util::parse_uint(port_text);
+    if (!port || *port == 0 || *port > 65535) {
+      throw std::invalid_argument("--port expects a TCP port (1-65535), got '" + port_text +
+                                  "'");
+    }
+    return static_cast<std::uint16_t>(*port);
+  }
+  if (store_dir.empty()) {
+    throw std::invalid_argument(
+        "no service named: pass --port=<p> or --store=<dir> (the dir given to `caem serve`)");
+  }
+  const caem::util::Config endpoint = caem::util::Config::from_file(endpoint_file(store_dir));
+  const long long port = endpoint.get_int("port", 0);
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("malformed endpoint file " + endpoint_file(store_dir));
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+/// Top-level string field from the service's own (flat, escaped) JSON.
+/// Good enough for "id"/"state"; not a general JSON parser.
+std::string json_string_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::string::size_type pos = body.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::string::size_type start = pos + needle.size();
+  const std::string::size_type end = body.find('"', start);
+  return end == std::string::npos ? "" : body.substr(start, end - start);
+}
+
+int serve_command(int argc, char** argv) {
+  const std::vector<std::string> tokens(argv + 2, argv + argc);
+  const caem::util::Config options = caem::util::Config::from_args(tokens);
+  caem::service::ServeConfig config;
+  config.store_dir = options.get_string("serve.store_dir", "");
+  if (config.store_dir.empty()) {
+    throw std::invalid_argument("serve.store_dir=<dir> is required");
+  }
+  const long long port_value = options.get_int("serve.port", 0);
+  if (port_value < 0 || port_value > 65535) {
+    throw std::invalid_argument("serve.port must be a TCP port (0 = pick an ephemeral one)");
+  }
+  const long long budget = options.get_int("serve.store_budget_bytes", 0);
+  if (budget < 0) throw std::invalid_argument("serve.store_budget_bytes must be >= 0");
+  config.store_budget_bytes = static_cast<std::uint64_t>(budget);
+  const long long workers =
+      options.get_int("serve.workers", static_cast<long long>(config.drain_threads));
+  if (workers < 1) throw std::invalid_argument("serve.workers must be >= 1");
+  config.drain_threads = static_cast<std::size_t>(workers);
+  config.lease_s = options.get_double("serve.lease_s", config.lease_s);
+  if (!(config.lease_s > 0.0)) throw std::invalid_argument("serve.lease_s must be > 0");
+  config.janitor_interval_s =
+      options.get_double("serve.janitor_interval_s", config.janitor_interval_s);
+  const std::vector<std::string> unknown = options.unconsumed();
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown serve option '" + unknown.front() +
+                                "' (serve takes serve.* keys only)");
+  }
+
+  caem::service::SweepService service(config);
+  caem::service::HttpEndpoint endpoint(
+      static_cast<std::uint16_t>(port_value),
+      [&service](const caem::service::HttpRequest& request) { return service.handle(request); });
+  caem::util::atomic_write_file(endpoint_file(config.store_dir),
+                                "port = " + std::to_string(endpoint.port()) + "\n",
+                                "serve endpoint file");
+  std::cout << "serve: listening on 127.0.0.1:" << endpoint.port() << "\n"
+            << "serve: store " << config.store_dir << " ("
+            << (config.store_budget_bytes == 0
+                    ? std::string("unbounded")
+                    : "budget " + std::to_string(config.store_budget_bytes) + " bytes")
+            << "), " << config.drain_threads << " drain thread(s), lease "
+            << caem::util::format_fixed(config.lease_s, 0) << " s\n"
+            << "serve: endpoint file " << endpoint_file(config.store_dir) << "\n"
+            << std::flush;
+  install_interrupt_handler();
+  while (!g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "serve: signal received, shutting down\n";
+  endpoint.stop();   // no new requests ...
+  service.stop();    // ... then cancel in-flight sweeps and join
+  std::cout << "serve: stopped cleanly\n";
+  return 0;
+}
+
+int submit_command(int argc, char** argv) {
+  const std::string path = argv[2];
+  std::string port_text;
+  std::string store_dir;
+  bool wait = false;
+  std::vector<std::string> overrides;
+  for (int i = 3; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--port=", 0) == 0) {
+      port_text = token.substr(7);
+    } else if (token.rfind("--store=", 0) == 0) {
+      store_dir = token.substr(8);
+    } else if (token == "--wait") {
+      wait = true;
+    } else if (token.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown flag '" + token + "'");
+    } else {
+      if (token.find('=') == std::string::npos) {
+        throw std::invalid_argument("override '" + token + "' is not key=value");
+      }
+      overrides.push_back(token);
+    }
+  }
+  const std::uint16_t port = resolve_port(port_text, store_dir);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("cannot read scenario file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string body = text.str();
+  if (!overrides.empty()) {
+    // Same override semantics as `caem run`: appended assignments win.
+    body += "\n# appended by caem submit (last assignment wins)\n";
+    for (const std::string& token : overrides) body += token + "\n";
+  }
+
+  const caem::service::HttpResponse created =
+      caem::service::http_request(port, "POST", "/sweeps", body);
+  if (created.status != 201) {
+    std::cerr << "caem submit: service returned " << created.status << ": " << created.body
+              << "\n";
+    return 1;
+  }
+  const std::string id = json_string_field(created.body, "id");
+  std::cout << "sweep " << id << "\n";
+  if (!wait) return 0;
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    const caem::service::HttpResponse status =
+        caem::service::http_request(port, "GET", "/sweeps/" + id);
+    if (status.status != 200) {
+      std::cerr << "caem submit: poll returned " << status.status << ": " << status.body << "\n";
+      return 1;
+    }
+    const std::string state = json_string_field(status.body, "state");
+    if (state == "done") {
+      std::cout << "sweep " << id << ": done\n";
+      return 0;
+    }
+    if (state == "failed" || state == "cancelled") {
+      std::cerr << "caem submit: sweep " << id << " " << state << ": " << status.body << "\n";
+      return 1;
+    }
+  }
+}
+
+int status_command(int argc, char** argv) {
+  std::string port_text;
+  std::string store_dir;
+  std::string id;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--port=", 0) == 0) {
+      port_text = token.substr(7);
+    } else if (token.rfind("--store=", 0) == 0) {
+      store_dir = token.substr(8);
+    } else if (token.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown flag '" + token + "'");
+    } else if (id.empty()) {
+      id = token;
+    } else {
+      throw std::invalid_argument("at most one sweep id, got '" + id + "' and '" + token + "'");
+    }
+  }
+  const std::uint16_t port = resolve_port(port_text, store_dir);
+  const std::string target = id.empty() ? "/stats" : "/sweeps/" + id;
+  const caem::service::HttpResponse response = caem::service::http_request(port, "GET", target);
+  if (response.status != 200) {
+    std::cerr << "caem status: service returned " << response.status << ": " << response.body
+              << "\n";
+    return 1;
+  }
+  std::cout << response.body << "\n";
+  return 0;
+}
+
+int fetch_command(int argc, char** argv) {
+  const std::string id = argv[2];
+  const std::string rel = argv[3];
+  std::string port_text;
+  std::string store_dir;
+  std::string out_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--port=", 0) == 0) {
+      port_text = token.substr(7);
+    } else if (token.rfind("--store=", 0) == 0) {
+      store_dir = token.substr(8);
+    } else if (token.rfind("--out=", 0) == 0) {
+      out_path = token.substr(6);
+    } else {
+      throw std::invalid_argument("unknown argument '" + token + "'");
+    }
+  }
+  const std::uint16_t port = resolve_port(port_text, store_dir);
+  const caem::service::HttpResponse response =
+      caem::service::http_request(port, "GET", "/sweeps/" + id + "/artifacts/" + rel);
+  if (response.status != 200) {
+    std::cerr << "caem fetch: service returned " << response.status << ": " << response.body
+              << "\n";
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::cout << response.body;
+    return 0;
+  }
+  caem::util::atomic_write_file(out_path, response.body, "fetched artifact");
+  std::cout << "fetched " << rel << " -> " << out_path << " (" << response.body.size()
+            << " bytes)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -356,7 +643,8 @@ int main(int argc, char** argv) {
     return usage(std::cout, 0);
   }
   if (command != "run" && command != "merge" && command != "expand" &&
-      command != "protocols") {
+      command != "protocols" && command != "serve" && command != "submit" &&
+      command != "status" && command != "fetch") {
     return usage(std::cerr, 2);
   }
   if (command == "protocols") {
@@ -366,12 +654,23 @@ int main(int argc, char** argv) {
     }
     return protocols_command();
   }
-  if (argc < 3) {
+  if ((command == "run" || command == "merge" || command == "expand" ||
+       command == "submit") &&
+      argc < 3) {
     std::cerr << "caem " << command << ": missing scenario file\n";
     return usage(std::cerr, 2);
   }
+  if (command == "fetch" && argc < 4) {
+    std::cerr << "caem fetch: usage: caem fetch <id> <artifact-path> "
+                 "[--port=<p>|--store=<dir>] [--out=<file>]\n";
+    return 2;
+  }
   try {
     if (command == "expand") return expand_command(argc, argv);
+    if (command == "serve") return serve_command(argc, argv);
+    if (command == "submit") return submit_command(argc, argv);
+    if (command == "status") return status_command(argc, argv);
+    if (command == "fetch") return fetch_command(argc, argv);
     return run_command(argc, argv, command == "merge");
   } catch (const std::exception& error) {
     std::cerr << "caem " << command << ": " << error.what() << "\n";

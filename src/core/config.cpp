@@ -1,5 +1,6 @@
 #include "core/config.hpp"
 
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 
@@ -190,6 +191,10 @@ void NetworkConfig::apply_overrides(const util::Config& overrides) {
 
 std::string NetworkConfig::canonical_text() const {
   std::ostringstream out;
+  // Classic locale: the canonical text feeds the config digest, which
+  // must be byte-stable under any global locale (all numbers already go
+  // through format_full/to_string, this pins the stream itself).
+  out.imbue(std::locale::classic());
   const auto put = [&out](const char* key, const std::string& value) {
     out << key << '=' << value << '\n';
   };

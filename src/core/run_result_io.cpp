@@ -1,12 +1,14 @@
 #include "core/run_result_io.hpp"
 
 #include <cctype>
-#include <cstdlib>
+#include <locale>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "util/numeric.hpp"
 #include "util/table_writer.hpp"
 
 namespace caem::core {
@@ -210,12 +212,13 @@ double read_double(const JsonValue& object, const char* key) {
     throw std::invalid_argument("RunResult JSON: field '" + std::string(key) +
                                 "' is not a number");
   }
-  char* end = nullptr;
-  const double parsed = std::strtod(value.text.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
+  // util::parse_double (from_chars): cached documents always use '.'
+  // decimals and must load identically under any global locale.
+  const std::optional<double> parsed = util::parse_double(value.text);
+  if (!parsed) {
     throw std::invalid_argument("RunResult JSON: bad number in '" + std::string(key) + "'");
   }
-  return parsed;
+  return *parsed;
 }
 
 /// Optional unsigned field: absent reads as `fallback`.  Used for
@@ -231,12 +234,11 @@ std::uint64_t read_u64(const JsonValue& object, const char* key) {
     throw std::invalid_argument("RunResult JSON: field '" + std::string(key) +
                                 "' is not an unsigned integer");
   }
-  char* end = nullptr;
-  const std::uint64_t parsed = std::strtoull(value.text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
+  const std::optional<unsigned long long> parsed = util::parse_uint(value.text);
+  if (!parsed) {
     throw std::invalid_argument("RunResult JSON: bad integer in '" + std::string(key) + "'");
   }
-  return parsed;
+  return *parsed;
 }
 
 std::uint64_t read_u64_or(const JsonValue& object, const char* key, std::uint64_t fallback) {
@@ -282,13 +284,12 @@ double element_double(const JsonValue& element, const char* context) {
     throw std::invalid_argument("RunResult JSON: non-number element in '" +
                                 std::string(context) + "'");
   }
-  char* end = nullptr;
-  const double parsed = std::strtod(element.text.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
+  const std::optional<double> parsed = util::parse_double(element.text);
+  if (!parsed) {
     throw std::invalid_argument("RunResult JSON: bad number '" + element.text + "' in '" +
                                 std::string(context) + "'");
   }
-  return parsed;
+  return *parsed;
 }
 
 std::uint64_t element_u64(const JsonValue& element, const char* context) {
@@ -297,13 +298,12 @@ std::uint64_t element_u64(const JsonValue& element, const char* context) {
     throw std::invalid_argument("RunResult JSON: non-integer element in '" +
                                 std::string(context) + "'");
   }
-  char* end = nullptr;
-  const std::uint64_t parsed = std::strtoull(element.text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
+  const std::optional<unsigned long long> parsed = util::parse_uint(element.text);
+  if (!parsed) {
     throw std::invalid_argument("RunResult JSON: bad integer '" + element.text + "' in '" +
                                 std::string(context) + "'");
   }
-  return parsed;
+  return *parsed;
 }
 
 util::TimeSeries read_series(const JsonValue& object, const char* key) {
@@ -325,6 +325,10 @@ util::TimeSeries read_series(const JsonValue& object, const char* key) {
 
 std::string to_json(const RunResult& result) {
   std::ostringstream out;
+  // Classic locale: integer insertions must never grow grouping
+  // separators under a localized process — cached bytes are compared
+  // for identity across hosts.
+  out.imbue(std::locale::classic());
   const auto field_u = [&out](const char* key, std::uint64_t value) {
     out << '"' << key << "\":" << value << ',';
   };

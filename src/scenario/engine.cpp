@@ -219,11 +219,18 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
                                        spec.base_seed + c.rep, spec.options);
   };
 
-  // Live drain counters for --progress (and the worker report).  Scan
-  // hits are added before the drain starts; executions tick as they
-  // finish on whatever thread ran them.
-  std::atomic<std::size_t> hit_count{0};
-  std::atomic<std::size_t> executed_count{0};
+  // Live drain counters for --progress, the worker report, and any
+  // embedding host (caem serve) watching through spec.progress_sink.
+  // Scan hits are added before the drain starts; executions tick as
+  // they finish on whatever thread ran them.
+  ProgressSink local_sink;
+  ProgressSink& sink = spec.progress_sink != nullptr ? *spec.progress_sink : local_sink;
+  sink.total.store(result.total_jobs);
+  std::atomic<std::size_t>& hit_count = sink.hits;
+  std::atomic<std::size_t>& executed_count = sink.executed;
+  const auto cancel_requested = [&spec] {
+    return spec.cancel != nullptr && spec.cancel->load();
+  };
   std::ostream& progress_out =
       spec.progress_stream != nullptr ? *spec.progress_stream : std::cerr;
 
@@ -275,18 +282,31 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       return run;
     };
 
+    // Utility bookkeeping for the store janitor: every observed hit
+    // bumps the entry's touch sidecar when the host asked for it.
+    const auto note_hit = [&](const std::string& path) {
+      if (spec.record_touches) cache.touch(path);
+    };
+
     // Shared by the shard and unsharded/merge paths so store/retry
-    // semantics can never diverge between them; `sink` is null on a
-    // shard run, which stores cells but never folds them.  `pending`
+    // semantics can never diverge between them; `fold_into` is null on
+    // a shard run, which stores cells but never folds them.  `pending`
     // stays in ascending scan order (markers record it); only the
-    // DRAIN is cost-ordered.
-    const auto execute_and_store = [&](std::vector<core::RunResult>* sink) {
+    // DRAIN is cost-ordered.  Cancellation throws from the queue:
+    // parallel_runs joins every thread, propagates the first exception,
+    // and nothing partial is ever stored or folded.
+    const auto execute_and_store = [&](std::vector<core::RunResult>* fold_into) {
       const std::vector<std::size_t> order = cost_order(pending, job_cost);
       std::vector<core::RunResult> executed = core::parallel_runs(
-          order.size(), [&](std::size_t k) { return timed_run(order[k]); }, spec.threads);
+          order.size(),
+          [&](std::size_t k) {
+            if (cancel_requested()) throw SweepCancelled();
+            return timed_run(order[k]);
+          },
+          spec.threads);
       for (std::size_t k = 0; k < order.size(); ++k) {
         cache.store(paths[order[k]], executed[k]);
-        if (sink != nullptr) (*sink)[order[k]] = std::move(executed[k]);
+        if (fold_into != nullptr) (*fold_into)[order[k]] = std::move(executed[k]);
       }
     };
 
@@ -316,6 +336,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       for (std::size_t i = 0; i < result.total_jobs; ++i) {
         if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
           observe_entry(i, *hit);
+          note_hit(paths[i]);
           ++result.cache_hits;
         } else {
           todo.push_back(i);
@@ -331,12 +352,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       // peer: fast enough to pick freed cells up promptly, and well
       // under the lease so a stale claim is stolen soon after expiry.
       const auto poll = std::chrono::duration<double>(std::min(0.5, spec.lease_s / 4.0));
-      while (!queue.empty()) {
+      bool stopped = false;
+      while (!queue.empty() && !stopped) {
         bool progressed = false;
         std::vector<std::size_t> blocked;
         for (const std::size_t job : queue) {
+          // Cooperative stop between cells (never mid-cell: a started
+          // cell completes and stores — cancellation never wastes work
+          // already done, and a held claim is released below).
+          if (cancel_requested()) {
+            stopped = true;
+            break;
+          }
           if (cache.load(paths[job]).has_value()) {
             // A peer finished it since our last look: a hit, not ours.
+            note_hit(paths[job]);
             ++result.cache_hits;
             hit_count.fetch_add(1);
             progressed = true;
@@ -350,25 +380,33 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
           // have stored and released between our load and our acquire.
           if (cache.load(paths[job]).has_value()) {
             board.release(job);
+            note_hit(paths[job]);
             ++result.cache_hits;
             hit_count.fetch_add(1);
             progressed = true;
             continue;
           }
-          {
+          try {
             // Heartbeat while computing; joined before the release so a
             // late refresh can never resurrect a released claim.
             const LeaseRefresher heartbeat(board, job, spec.lease_s);
             cache.store(paths[job], timed_run(job));
+          } catch (...) {
+            // Never exit holding a claim: peers would wait a full lease
+            // to steal a cell this worker isn't computing.
+            board.release(job);
+            throw;
           }
           board.release(job);
           stored.push_back(job);
           progressed = true;
         }
         queue = std::move(blocked);
-        if (!queue.empty() && !progressed) std::this_thread::sleep_for(poll);
+        sink.stolen.store(board.stolen());
+        if (!queue.empty() && !stopped && !progressed) std::this_thread::sleep_for(poll);
       }
       reporter.stop();
+      result.cancelled = stopped;
 
       result.executed_jobs = stored.size();
       result.cache_misses = stored.size();
@@ -404,6 +442,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         ++result.shard_jobs;
         if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
           observe_entry(i, *hit);
+          note_hit(paths[i]);
           ++result.cache_hits;
         } else {
           pending.push_back(i);
@@ -437,6 +476,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     for (std::size_t i = 0; i < result.total_jobs; ++i) {
       if (std::optional<core::RunResult> hit = cache.load(paths[i])) {
         observe_entry(i, *hit);
+        note_hit(paths[i]);
         runs[i] = std::move(*hit);
         ++result.cache_hits;
       } else {
@@ -512,6 +552,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     runs = core::parallel_runs_ordered(
         result.total_jobs, cost_order(all, job_cost),
         [&](std::size_t i) {
+          if (cancel_requested()) throw SweepCancelled();
           core::RunResult run = run_job(i);
           executed_count.fetch_add(1);
           return run;
@@ -525,6 +566,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     runs.reserve(result.total_jobs);
     for (std::size_t p = 0; p < grid.size(); ++p) {
       for (const core::Protocol protocol : spec.protocols) {
+        if (cancel_requested()) throw SweepCancelled();
         core::Replicated replicated = core::run_replicated(
             configs[p], protocol, spec.base_seed, reps, spec.options, spec.threads);
         for (core::RunResult& run : replicated.runs) runs.push_back(std::move(run));

@@ -15,7 +15,10 @@
 // whatever thread picks it up.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -24,6 +27,26 @@
 #include "util/table_writer.hpp"
 
 namespace caem::scenario {
+
+/// Live drain counters a host can watch while run_scenario executes
+/// (ScenarioSpec::progress_sink).  `total` is set once the queue is
+/// expanded; `hits`/`executed` tick as cells resolve, so done ==
+/// hits + executed at any instant.  The sweep service polls these from
+/// HTTP handler threads while drain threads write them.
+struct ProgressSink {
+  std::atomic<std::size_t> total{0};
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> stolen{0};  ///< stale claims stolen (worker mode)
+};
+
+/// Thrown by non-worker run_scenario modes when ScenarioSpec::cancel
+/// flips mid-drain (worker mode returns a partial result flagged
+/// `cancelled` instead — it holds distributed state worth reporting).
+class SweepCancelled : public std::runtime_error {
+ public:
+  SweepCancelled() : std::runtime_error("sweep cancelled") {}
+};
 
 /// Folded replications of one protocol at one grid point.
 struct ProtocolResult {
@@ -79,6 +102,10 @@ struct ScenarioResult {
   bool worker_mode = false;
   std::string worker_token;         ///< this worker's claim token
   std::size_t claims_stolen = 0;    ///< stale/corrupt claims this worker stole
+  /// Worker mode only: spec.cancel flipped mid-drain; the held claim
+  /// was released, the telemetry marker written, and this result covers
+  /// only the cells resolved before the stop.
+  bool cancelled = false;
   /// Merge: per-worker telemetry reports found beside the shard markers
   /// (sorted by token) — the straggler census.
   std::vector<WorkerMarker> workers;

@@ -17,24 +17,43 @@
 // remaining key inputs in human-readable form: protocol name, seed, the
 // horizon (`h`, full-precision) and the run_to_death flag (`d`).
 //
-// Invalidation is purely structural: there is no TTL and no eviction —
-// an entry is valid forever because its key pins every input, including
-// a simulation-semantics version inside the canonical text (bumped when
-// simulator behavior changes for identical inputs, so old cache dirs
-// can never serve pre-change numbers).  Anything unreadable or
-// unparseable (partial write, format-version bump, hand edit) is
-// treated as a miss and recomputed/overwritten, never trusted.
+// Invalidation is purely structural: there is no TTL and no mandatory
+// eviction — an entry is valid forever because its key pins every
+// input, including a simulation-semantics version inside the canonical
+// text (bumped when simulator behavior changes for identical inputs,
+// so old cache dirs can never serve pre-change numbers).  Anything
+// unreadable or unparseable (partial write, format-version bump, hand
+// edit) is treated as a miss and recomputed/overwritten, never trusted.
+//
+// A long-running store (caem serve) does bound its size, though:
+// touch() keeps an approximate per-entry hit counter in a `.touch`
+// sidecar (additive — the JSON document itself never changes, so v1
+// readers keep working), enumerate() reports every entry with its byte
+// size, recorded wall cost and touch count, and service/cache_janitor
+// evicts the lowest utility (touches x wall_ms / bytes) entries first.
+// Deleting an entry is always safe: it reads as a miss and recomputes.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/protocol.hpp"
 #include "core/simulation_runner.hpp"
 
 namespace caem::scenario {
+
+/// One stored entry as seen by enumerate(): identity, weight and the
+/// utility inputs the janitor scores with.
+struct CacheEntryInfo {
+  std::string key;           ///< "<digest>/<cell>.json", relative to root
+  std::string path;          ///< absolute entry location
+  std::uint64_t bytes = 0;   ///< entry file size (sidecar not counted)
+  std::uint64_t touches = 0; ///< recorded cache hits (approximate)
+  double wall_ms = 0.0;      ///< recomputation cost stamped in the entry
+};
 
 class ResultCache {
  public:
@@ -65,6 +84,24 @@ class ResultCache {
   /// std::runtime_error on an unwritable path — a configured cache that
   /// silently drops writes would re-execute everything forever.
   void store(const std::string& path, const core::RunResult& result) const;
+
+  /// Record one cache hit on `path` in its `.touch` sidecar.  Lost
+  /// updates under concurrent touches are acceptable — the counter is a
+  /// utility signal, not an audit log — and a failed write is silently
+  /// ignored (an unwritable sidecar must never fail a hit).
+  void touch(const std::string& path) const;
+
+  /// Touch count recorded for `path` (0 when absent/corrupt).
+  [[nodiscard]] static std::uint64_t read_touches(const std::string& path);
+
+  /// Sidecar location: "<entry path>.touch".
+  [[nodiscard]] static std::string touch_path(const std::string& path);
+
+  /// Walk every stored entry (depth-1 digest directories; the "sweeps"
+  /// coordination tree and non-.json files are skipped).  Each entry is
+  /// loaded to recover its wall_ms; unreadable entries are skipped —
+  /// they read as misses anyway.  Order is unspecified.
+  [[nodiscard]] std::vector<CacheEntryInfo> enumerate() const;
 
  private:
   std::string root_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 #include <stdexcept>
+
+#include "util/numeric.hpp"
 
 namespace caem::scenario {
 
@@ -37,25 +40,19 @@ std::vector<core::Protocol> parse_protocols(const std::string& list) {
 }
 
 long long parse_int(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const long long parsed = std::stoll(value, &used);
-    if (used != value.size()) throw std::invalid_argument("trailing chars");
-    return parsed;
-  } catch (const std::exception&) {
+  const std::optional<long long> parsed = util::parse_int(value);
+  if (!parsed) {
     throw std::invalid_argument("scenario key '" + key + "' is not an integer: '" + value + "'");
   }
+  return *parsed;
 }
 
 double parse_double(const std::string& key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double parsed = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument("trailing chars");
-    return parsed;
-  } catch (const std::exception&) {
+  const std::optional<double> parsed = util::parse_double(value);
+  if (!parsed) {
     throw std::invalid_argument("scenario key '" + key + "' is not a number: '" + value + "'");
   }
+  return *parsed;
 }
 
 bool parse_bool(const std::string& key, const std::string& value) {

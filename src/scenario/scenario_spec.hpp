@@ -17,6 +17,7 @@
 // experiment (the bug class this subsystem was built to kill).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -29,6 +30,8 @@
 #include "util/config.hpp"
 
 namespace caem::scenario {
+
+struct ProgressSink;  // engine.hpp
 
 struct ScenarioSpec {
   std::string name = "unnamed";
@@ -104,6 +107,27 @@ struct ScenarioSpec {
   /// Progress destination; null = std::cerr (keeps stdout clean for the
   /// summary table).  Tests inject a stringstream here.
   std::ostream* progress_stream = nullptr;
+
+  // -- engine-injected hooks (never file keys: they are process-local
+  //    pointers a host embeds, not experiment inputs) --
+
+  /// Live drain counters (engine.hpp).  Null = the engine counts into a
+  /// private sink.  The sweep service points every drain thread at a
+  /// per-thread sink and aggregates them for /sweeps/<id> polling.
+  ProgressSink* progress_sink = nullptr;
+
+  /// Cooperative cancellation: when non-null and it reads true, the
+  /// engine stops launching cells.  Worker mode releases its held claim,
+  /// still publishes its telemetry marker, and returns a partial result
+  /// flagged `cancelled`; every other mode throws SweepCancelled (no
+  /// partial fold is ever rendered).  Already-finished cells stay
+  /// durably cached either way — cancellation never loses work.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Record every cache hit in the entry's `.touch` sidecar so the
+  /// store janitor can score utility (result_cache.hpp).  Off by
+  /// default: one-shot CLI runs shouldn't pay the extra write.
+  bool record_touches = false;
 
   /// Load a scenario file.  Throws std::invalid_argument on syntax
   /// errors, unknown keys, bad axis specs or inconsistent config values.

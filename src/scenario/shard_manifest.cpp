@@ -10,6 +10,7 @@
 #include "util/atomic_file.hpp"
 #include "util/config.hpp"
 #include "util/digest.hpp"
+#include "util/numeric.hpp"
 
 namespace caem::scenario {
 
@@ -18,19 +19,13 @@ namespace fs = std::filesystem;
 namespace {
 
 std::size_t parse_size(const std::string& what, const std::string& text) {
-  // stoull silently accepts a leading '-' (it wraps), so gate on the
-  // first character being a digit before delegating.
-  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+  // util::parse_uint (from_chars) is strict: no '-' wraparound, no
+  // trailing characters, no locale sensitivity.
+  const std::optional<unsigned long long> value = util::parse_uint(text);
+  if (!value) {
     throw std::invalid_argument(what + ": not a non-negative integer: '" + text + "'");
   }
-  try {
-    std::size_t used = 0;
-    const unsigned long long value = std::stoull(text, &used);
-    if (used != text.size()) throw std::invalid_argument("trailing chars");
-    return static_cast<std::size_t>(value);
-  } catch (const std::exception&) {
-    throw std::invalid_argument(what + ": not a non-negative integer: '" + text + "'");
-  }
+  return static_cast<std::size_t>(*value);
 }
 
 std::string join_indices(const std::vector<std::size_t>& indices) {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/config.hpp"
+#include "util/numeric.hpp"
 
 namespace caem::scenario {
 
@@ -26,20 +28,18 @@ std::vector<std::string> split(const std::string& text, char sep) {
 }
 
 double parse_number(const std::string& key, const std::string& text) {
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument("trailing chars");
-    return value;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("sweep axis '" + key + "': '" + text + "' is not a number");
-  }
+  const std::optional<double> value = util::parse_double(text);
+  if (!value) throw std::invalid_argument("sweep axis '" + key + "': '" + text + "' is not a number");
+  return *value;
 }
 
 /// Shortest default-precision formatting ("5", "12.5") so range axes
-/// produce the same strings a human would type in a list.
+/// produce the same strings a human would type in a list.  Classic
+/// locale: the strings feed config values and cache keys, so they must
+/// not grow comma decimals under a localized process.
 std::string format_value(double value) {
   std::ostringstream out;
+  out.imbue(std::locale::classic());
   out << value;
   return out.str();
 }

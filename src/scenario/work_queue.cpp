@@ -139,9 +139,21 @@ ClaimBoard::Claim ClaimBoard::try_claim(std::size_t job) {
     }
     if (standing->token == token_) return Claim::kWon;  // already ours
     const double lease_s = standing->lease_s > 0.0 ? standing->lease_s : lease_s_;
-    const std::uint64_t expiry_ms =
-        standing->epoch_ms + static_cast<std::uint64_t>(lease_s * 1000.0);
-    if (now_ms() <= expiry_ms) return Claim::kBusy;  // healthy holder
+    const std::uint64_t lease_ms = static_cast<std::uint64_t>(lease_s * 1000.0);
+    const std::uint64_t now = now_ms();
+    // A healthy holder's stamp lies within [now - lease, now + lease]:
+    // the claim clock is WALL clock compared across hosts, so modest
+    // skew must read as healthy in both directions.  Beyond that window
+    // the claim is dead either way — aged past its lease (crashed
+    // holder), or stamped more than one lease in the FUTURE (a
+    // fast-clock host, or a corrupt stamp).  The future case matters:
+    // before this guard such a claim could never expire in this
+    // process's frame, leaving the cell unstealable until the skewed
+    // host aged it out itself — exactly the straggler the lease
+    // protocol exists to prevent.
+    const bool expired = now > standing->epoch_ms + lease_ms;
+    const bool future_dated = standing->epoch_ms > now + lease_ms;
+    if (!expired && !future_dated) return Claim::kBusy;  // healthy holder
     if (take(job)) ++stolen_;
     // Lost the steal race (or won it): either way loop — the next pass
     // acquires, or observes the winning stealer's fresh claim as busy.

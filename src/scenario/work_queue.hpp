@@ -22,7 +22,12 @@
 // LEASE     the claim records its epoch_ms and lease_ms; the holder
 //           refreshes the stamp (rename-replace of its own file) while
 //           it computes.  A claim whose stamp has aged past the lease
-//           belongs to a crashed (or descheduled) worker.
+//           belongs to a crashed (or descheduled) worker.  The stamp is
+//           wall clock compared across hosts, so skew within one lease
+//           in either direction reads as healthy; a stamp more than one
+//           lease in the FUTURE (fast-clock host, corrupt stamp) is
+//           treated as stale too — otherwise it could never expire in
+//           this process's frame and the cell would be unstealable.
 // STEAL     rename the stale claim to a name unique to the stealer.
 //           rename succeeds for exactly one of N racing stealers (the
 //           rest get ENOENT) — a filesystem test-and-take — after which

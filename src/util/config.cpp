@@ -4,8 +4,11 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/numeric.hpp"
 
 namespace caem::util {
 
@@ -143,29 +146,19 @@ double Config::get_double(const std::string& key, double fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
   mark_consumed(key);
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument("trailing chars");
-    return value;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("Config: key '" + key + "' is not a number: '" + it->second + "'");
-  }
+  // Locale-independent parse (util::parse_double): a non-"C" global
+  // locale must never change what a config value means.
+  if (const std::optional<double> value = parse_double(it->second)) return *value;
+  throw std::invalid_argument("Config: key '" + key + "' is not a number: '" + it->second + "'");
 }
 
 long long Config::get_int(const std::string& key, long long fallback) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return fallback;
   mark_consumed(key);
-  try {
-    std::size_t used = 0;
-    const long long value = std::stoll(it->second, &used);
-    if (used != it->second.size()) throw std::invalid_argument("trailing chars");
-    return value;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("Config: key '" + key + "' is not an integer: '" + it->second +
-                                "'");
-  }
+  if (const std::optional<long long> value = parse_int(it->second)) return *value;
+  throw std::invalid_argument("Config: key '" + key + "' is not an integer: '" + it->second +
+                              "'");
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {

@@ -2,22 +2,30 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
+#include <charconv>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 
 namespace caem::util {
 
 std::string format_fixed(double value, int precision) {
   std::ostringstream out;
+  // Pin the stream to the classic locale: rendered tables and CSV cells
+  // must use '.' decimals regardless of the process's global locale.
+  out.imbue(std::locale::classic());
   out << std::fixed << std::setprecision(precision) << value;
   return out.str();
 }
 
 std::string format_full(double value) {
+  // to_chars is locale-independent by definition; general/17 emits the
+  // same bytes as the former snprintf "%.17g" (verified exhaustively over
+  // random doubles and the inf/nan specials) without consulting LC_NUMERIC.
   char buffer[40];
-  const int written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return std::string(buffer, written > 0 ? static_cast<std::size_t>(written) : 0);
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value, std::chars_format::general, 17);
+  return ec == std::errc() ? std::string(buffer, ptr) : std::string{};
 }
 
 TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}

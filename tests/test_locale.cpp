@@ -1,0 +1,149 @@
+// Locale-independence regression tests.
+//
+// The bug these pin: std::stod/strtod and un-imbued ostringstreams
+// honor the global locale.  Under a comma-decimal locale (de_DE style),
+// "1.5" used to stop parsing at the '.', full-token checks rejected
+// values that were valid the day before, and rendered doubles grew ','
+// decimals and digit grouping — silently changing config digests,
+// cache-entry bytes, and JSON artifacts with nothing but an
+// environment variable.  A long-running service (caem serve) makes the
+// global locale part of ambient state, so every parse/format in the
+// persistence paths must now be locale-pinned; these tests flip the
+// global C++ locale to an adversarial comma/grouping locale and assert
+// the bytes do not move.
+//
+// The container ships no named comma-decimal locale, so the tests
+// install a custom numpunct facet as the global C++ locale (which is
+// what un-imbued streams consult) and, opportunistically, any named
+// comma locale the host does provide via setlocale (which is what the
+// strtod family consults).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/run_result_io.hpp"
+#include "util/config.hpp"
+#include "util/numeric.hpp"
+#include "util/table_writer.hpp"
+
+namespace caem {
+namespace {
+
+/// Comma decimal point + 3-digit grouping with '.' separators — the
+/// classic European formatting that breaks naive numeric code both ways.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// RAII: install the adversarial locale globally (C++ global locale AND
+/// the C locale if a named comma locale exists), restore on scope exit.
+class AdversarialLocaleGuard {
+ public:
+  AdversarialLocaleGuard() : previous_cpp_(std::locale()) {
+    const char* c_locale = std::setlocale(LC_NUMERIC, nullptr);
+    previous_c_ = c_locale ? c_locale : "C";
+    std::locale::global(std::locale(std::locale::classic(), new CommaNumpunct));
+    // Best effort: a named comma locale also flips strtod/snprintf.
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+      if (std::setlocale(LC_NUMERIC, name)) break;
+    }
+  }
+  ~AdversarialLocaleGuard() {
+    std::setlocale(LC_NUMERIC, previous_c_.c_str());
+    std::locale::global(previous_cpp_);
+  }
+
+ private:
+  std::locale previous_cpp_;
+  std::string previous_c_;
+};
+
+/// Sanity: the guard really is adversarial for un-imbued streams.
+TEST(LocaleIndependence, GuardFlipsUnpinnedStreams) {
+  const AdversarialLocaleGuard guard;
+  std::ostringstream out;  // constructed AFTER the global flip
+  out << 1234.5;
+  EXPECT_NE(out.str().find(','), std::string::npos) << out.str();
+}
+
+TEST(LocaleIndependence, ConfigDigestIsLocalePinned) {
+  const core::NetworkConfig base;
+  const std::string canonical = base.canonical_text();
+  const AdversarialLocaleGuard guard;
+  // The digest every cache directory in the world is keyed by.
+  EXPECT_EQ(base.digest(), "d5cc9acc34aeb055");
+  EXPECT_EQ(base.canonical_text(), canonical);
+}
+
+TEST(LocaleIndependence, ConfigParsesDotDecimalsUnderCommaLocale) {
+  const AdversarialLocaleGuard guard;
+  const util::Config config = util::Config::from_text(
+      "rate = 1.5\n"
+      "count = 1234567\n"
+      "tiny = 2.3e-7\n"
+      "rate2 = 1,5\n");
+  EXPECT_DOUBLE_EQ(config.get_double("rate", 0.0), 1.5);
+  EXPECT_EQ(config.get_int("count", 0), 1234567);
+  EXPECT_DOUBLE_EQ(config.get_double("tiny", 0.0), 2.3e-7);
+  // Comma decimals are NOT silently accepted — they are a typo, not a
+  // localized spelling.
+  EXPECT_THROW((void)config.get_double("rate2", 0.0), std::invalid_argument);
+}
+
+TEST(LocaleIndependence, ParseHelpersIgnoreGlobalLocale) {
+  const AdversarialLocaleGuard guard;
+  EXPECT_EQ(util::parse_double("-1.25"), -1.25);
+  EXPECT_EQ(util::parse_double("+2e3"), 2000.0);
+  EXPECT_EQ(util::parse_int("-42"), -42);
+  EXPECT_EQ(util::parse_uint("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(util::parse_double("1,5").has_value());
+  EXPECT_FALSE(util::parse_double("1.5x").has_value());
+  EXPECT_FALSE(util::parse_int("1.5").has_value());
+  EXPECT_FALSE(util::parse_uint("-1").has_value());
+  EXPECT_FALSE(util::parse_double("").has_value());
+}
+
+TEST(LocaleIndependence, FormattersRenderDotDecimalsUnderCommaLocale) {
+  const AdversarialLocaleGuard guard;
+  EXPECT_EQ(util::format_fixed(1.5, 2), "1.50");
+  EXPECT_EQ(util::format_fixed(1234567.5, 1), "1234567.5");  // no grouping
+  EXPECT_EQ(util::format_full(0.1), "0.10000000000000001");
+  EXPECT_EQ(util::format_full(1.0 / 3.0), "0.33333333333333331");
+  EXPECT_EQ(util::format_full(-1.0), "-1");
+  EXPECT_EQ(util::format_full(2.3e-07), "2.2999999999999999e-07");
+}
+
+TEST(LocaleIndependence, RunResultJsonBytesAreLocalePinned) {
+  core::RunResult result;
+  result.protocol = core::protocol_from_string("scheme1");
+  result.seed = 2005;
+  result.sim_end_s = 599.99999999999995;
+  result.executed_events = 123456789012345ull;  // grouping bait
+  result.delivery_rate = 0.1;
+  result.mean_delay_s = 1.0 / 3.0;
+  result.wall_ms = 1234.5;
+  result.avg_remaining_energy.add(0.0, 10.0);
+  result.avg_remaining_energy.add(5.0, 9.8952915526095495);
+  result.nodes_alive.add(0.0, 100.0);
+  const std::string reference = core::to_json(result);
+
+  const AdversarialLocaleGuard guard;
+  // Serialize under the comma locale: byte-identical to the C-locale
+  // bytes (cache stores are compared for identity across processes).
+  EXPECT_EQ(core::to_json(result), reference);
+  // And load what a C-locale process stored: full round-trip.
+  const core::RunResult loaded = core::run_result_from_json(reference);
+  EXPECT_EQ(core::to_json(loaded), reference);
+  EXPECT_DOUBLE_EQ(loaded.mean_delay_s, 1.0 / 3.0);
+  EXPECT_EQ(loaded.executed_events, 123456789012345ull);
+}
+
+}  // namespace
+}  // namespace caem

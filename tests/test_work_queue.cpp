@@ -194,6 +194,57 @@ TEST(ClaimBoard, RefreshKeepsALongRunningHolderSafe) {
   fs::remove_all(cache);
 }
 
+/// Fabricate a foreign claim with an arbitrary stamp — the fixture for
+/// clock-skew scenarios a real ClaimBoard cannot produce itself.
+void write_foreign_claim(const fs::path& claims_dir, const std::string& sweep, std::size_t job,
+                         std::uint64_t epoch_ms, double lease_s) {
+  std::ofstream(claims_dir / ("job_" + std::to_string(job) + ".claim"), std::ios::trunc)
+      << "v = 1\nsweep = " << sweep << "\njob = " << job
+      << "\ntoken = skewed-host:1:0-deadbeef\nhost = skewed-host\npid = 1\nepoch_ms = "
+      << epoch_ms << "\nlease_s = " << lease_s << "\n";
+}
+
+TEST(ClaimBoard, FutureDatedClaimBeyondOneLeaseIsStolen) {
+  // A host with a fast clock stamps its claim in this process's future.
+  // Before the skew guard such a claim could NEVER expire here — local
+  // now_ms() <= epoch_ms + lease forever — so the cell was unstealable
+  // until the skewed host itself aged it out.  A stamp more than one
+  // lease ahead must read as corrupt/stale and be stolen immediately.
+  const fs::path cache = scratch_dir("claim_future");
+  ClaimBoard board = make_board(cache, kSweep, 30.0);
+  const double lease_s = 0.5;
+  write_foreign_claim(board.dir(), kSweep, 9,
+                      ClaimBoard::now_ms() + static_cast<std::uint64_t>(3600.0 * 1000.0),
+                      lease_s);
+  EXPECT_EQ(board.try_claim(9), ClaimBoard::Claim::kWon);
+  EXPECT_EQ(board.stolen(), 1u);
+  const auto info = board.peek(9);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->token, board.token());
+  fs::remove_all(cache);
+}
+
+TEST(ClaimBoard, SkewWithinOneLeaseReadsHealthyInBothDirections) {
+  // Modest clock skew — under one lease, past or future — must NOT get
+  // a healthy holder stolen from: wall clocks across hosts are never
+  // perfectly aligned, and the lease is the agreed tolerance.
+  const fs::path cache = scratch_dir("claim_skew_ok");
+  ClaimBoard board = make_board(cache, kSweep, 30.0);
+  const double lease_s = 60.0;
+  // Stamped 20 s in the future (fast host, within one lease): healthy.
+  write_foreign_claim(board.dir(), kSweep, 11, ClaimBoard::now_ms() + 20'000, lease_s);
+  EXPECT_EQ(board.try_claim(11), ClaimBoard::Claim::kBusy);
+  // Stamped 20 s in the past (slow host, within one lease): healthy.
+  write_foreign_claim(board.dir(), kSweep, 12, ClaimBoard::now_ms() - 20'000, lease_s);
+  EXPECT_EQ(board.try_claim(12), ClaimBoard::Claim::kBusy);
+  EXPECT_EQ(board.stolen(), 0u);
+  // And one lease plus slack in the PAST is the classic crash: stolen.
+  write_foreign_claim(board.dir(), kSweep, 13, ClaimBoard::now_ms() - 70'000, lease_s);
+  EXPECT_EQ(board.try_claim(13), ClaimBoard::Claim::kWon);
+  EXPECT_EQ(board.stolen(), 1u);
+  fs::remove_all(cache);
+}
+
 TEST(ClaimBoard, CorruptClaimIsEvictedNotTrusted) {
   const fs::path cache = scratch_dir("claim_corrupt");
   ClaimBoard board = make_board(cache, kSweep, 30.0);
