@@ -134,7 +134,10 @@ int main(int argc, char** argv) {
   if (sim_s <= 0.0) sim_s = fast ? 20.0 : 40.0;
 
   std::vector<std::size_t> sizes{100, 1000, 10000};
-  if (!fast) sizes.push_back(50000);
+  if (!fast) {
+    sizes.push_back(50000);
+    sizes.push_back(100000);
+  }
 
   std::printf("==== bench_scale ====\n");
   std::printf("%8s %12s %10s %14s %14s\n", "nodes", "field (m)", "wall (s)", "events",

@@ -212,6 +212,10 @@ void print_banner(const caem::scenario::ScenarioSpec& spec, std::ostream& out) {
       << spec.protocols.size() << " protocol(s) x " << spec.replications
       << " rep(s) = " << spec.total_jobs() << " job(s)"
       << (spec.flatten ? " on one flattened queue" : " with per-point barriers") << "\n";
+  // Resolve the effective queue kind through config_at so base_overrides
+  // (e.g. a `sim.queue_kind=heap` CLI override) are reflected.
+  out << "kernel: " << spec.config_at(caem::scenario::expand_grid(spec.axes).front()).sim_queue_kind
+      << " event queue (digest-neutral)\n";
   if (!spec.cache_dir.empty()) {
     out << "cache: " << spec.cache_dir << (spec.use_cache ? "" : " (disabled by --no-cache)")
         << "\n";

@@ -2,6 +2,7 @@
 
 #include "core/network.hpp"
 #include "metrics/lifetime.hpp"
+#include "sim/kernel_stats.hpp"
 
 namespace caem::core {
 
@@ -21,6 +22,9 @@ RunResult SimulationRunner::run(const NetworkConfig& config, Protocol protocol,
     network.simulator().run_until(options.max_sim_s);
   }
   network.finalize();
+  // Fold this run's kernel op counts into the process-wide totals that
+  // progress lines and the serve daemon's /stats report.
+  sim::add_kernel_totals(network.simulator().kernel_counters());
 
   const auto& m = network.metrics();
   RunResult result;

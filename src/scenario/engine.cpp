@@ -17,6 +17,7 @@
 
 #include "scenario/cost_model.hpp"
 #include "scenario/result_cache.hpp"
+#include "sim/kernel_stats.hpp"
 #include "scenario/shard_manifest.hpp"
 #include "scenario/work_queue.hpp"
 #include "util/table_writer.hpp"
@@ -91,6 +92,12 @@ class ProgressReporter {
     } else {
       out_ << "unknown";
     }
+    // Kernel op totals across every completed run in this process
+    // (counters fold in when a cell finishes, so they trail in-flight
+    // cells slightly).
+    const sim::KernelCounters kernel = sim::kernel_totals();
+    out_ << "; kernel: " << kernel.scheduled << " sched / " << kernel.fired << " fired / "
+         << kernel.cancelled << " cancelled / " << kernel.tombstones_pruned << " pruned";
     out_ << std::endl;  // flush per line: progress is watched live
   }
 

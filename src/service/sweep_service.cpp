@@ -8,6 +8,7 @@
 
 #include "scenario/result_cache.hpp"
 #include "scenario/sweep.hpp"
+#include "sim/kernel_stats.hpp"
 #include "util/config.hpp"
 #include "util/table_writer.hpp"
 
@@ -381,7 +382,12 @@ HttpResponse SweepService::stats() {
       << ",\"bytes_evicted\":" << janitor_->total_bytes_evicted() << "}"
       << ",\"sweeps\":{\"queued\":" << queued << ",\"running\":" << running
       << ",\"done\":" << done << ",\"failed\":" << failed << ",\"cancelled\":" << cancelled
-      << "}}\n";
+      << "}";
+  // Process-wide kernel op totals (folded in as runs complete).
+  const sim::KernelCounters kernel = sim::kernel_totals();
+  out << ",\"kernel\":{\"scheduled\":" << kernel.scheduled << ",\"fired\":" << kernel.fired
+      << ",\"cancelled\":" << kernel.cancelled
+      << ",\"tombstones_pruned\":" << kernel.tombstones_pruned << "}}\n";
   return json_response(200, out.str());
 }
 

@@ -72,6 +72,15 @@ class EventFn {
     }
   }
 
+  /// Move `other` into *this* KNOWN-EMPTY EventFn without inspecting the
+  /// current contents: every byte of *this is written, none read.  A
+  /// cold destination cache line therefore costs a buffered store-miss
+  /// the core sails past, instead of the dependent vtable load that
+  /// move-assignment's reset() would stall on.  Precondition: *this is
+  /// empty — callers must guarantee it structurally (slot columns track
+  /// emptiness by construction).
+  void adopt(EventFn&& other) noexcept { move_from(other); }
+
   /// True when the held callable lives in the inline buffer (diagnostics).
   [[nodiscard]] bool is_inline() const noexcept {
     return vtable_ != nullptr && vtable_->inline_stored;

@@ -1,60 +1,25 @@
 #include "sim/event_queue.hpp"
 
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace caem::sim {
 
-std::uint32_t EventQueue::acquire_slot() {
-  if (!free_slots_.empty()) {
-    const std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  if (slots_.size() > std::numeric_limits<std::uint32_t>::max()) {
-    throw std::length_error("EventQueue: slot table overflow");
-  }
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
-}
-
-void EventQueue::release_slot(std::uint32_t slot) noexcept {
-  Slot& s = slots_[slot];
-  s.live = false;
-  s.fn.reset();
-  // Stale ids can never match again.  Skip generation 0 on wrap: it
-  // would make make_id(0, 0) == kInvalidEventId and let ids from a full
-  // generation cycle ago alias a live event.
-  if (++s.generation == 0) s.generation = 1;
-  free_slots_.push_back(slot);
-}
-
 EventId EventQueue::schedule(double time_s, EventCallback callback) {
   if (std::isnan(time_s)) throw std::invalid_argument("EventQueue: NaN event time");
   if (!callback) throw std::invalid_argument("EventQueue: null callback");
-  const std::uint32_t slot = acquire_slot();
-  Slot& s = slots_[slot];
-  s.fn = std::move(callback);
-  s.live = true;
+  const std::uint32_t slot = slots_.acquire(std::move(callback));
   heap_.push_back(Entry{time_s, next_sequence_++, slot});
   sift_up(heap_.size() - 1);
   ++live_count_;
-  return make_id(slot, s.generation);
+  return slots_.id_at(slot);
 }
 
 bool EventQueue::cancel(EventId id) noexcept {
-  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
-  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
-  if (id == kInvalidEventId || slot >= slots_.size()) return false;
-  Slot& s = slots_[slot];
-  if (!s.live || s.generation != generation) return false;
-  // Tombstone: the heap entry stays and is skipped on pop; the slot is
-  // recycled when that entry surfaces.  Captured state is released now.
-  s.live = false;
-  s.fn.reset();
+  if (!slots_.tombstone(id)) return false;
   --live_count_;
+  ++cancelled_count_;
   return true;
 }
 
@@ -71,32 +36,24 @@ EventQueue::Fired EventQueue::pop() {
   heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
-  Slot& s = slots_[top.slot];
-  Fired fired{make_id(top.slot, s.generation), top.time_s, std::move(s.fn)};
-  release_slot(top.slot);
+  Fired fired{slots_.id_at(top.slot), top.time_s, slots_.take(top.slot)};
+  slots_.release(top.slot);
   --live_count_;
+  ++fired_count_;
   drop_dead_top();
   return fired;
 }
 
 void EventQueue::clear() noexcept {
   heap_.clear();
-  free_slots_.clear();
-  free_slots_.reserve(slots_.size());
-  // Bump every generation so ids issued before clear() go stale, and
-  // recycle all slots.
-  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    slots_[slot].live = false;
-    slots_[slot].fn.reset();
-    if (++slots_[slot].generation == 0) slots_[slot].generation = 1;
-    free_slots_.push_back(static_cast<std::uint32_t>(slots_.size() - 1 - slot));
-  }
+  slots_.clear();
   live_count_ = 0;
 }
 
 void EventQueue::drop_dead_top() noexcept {
-  while (!heap_.empty() && !slots_[heap_.front().slot].live) {
-    release_slot(heap_.front().slot);
+  while (!heap_.empty() && !slots_.is_live(heap_.front().slot)) {
+    slots_.release(heap_.front().slot);
+    ++pruned_count_;
     heap_.front() = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);

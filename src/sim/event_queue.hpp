@@ -1,97 +1,72 @@
-// event_queue.hpp — pending-event set for the discrete-event kernel.
+// event_queue.hpp — binary-heap pending-event set (PendingSet impl).
 //
 // A binary min-heap ordered by (time, sequence) so simultaneous events
 // fire in scheduling (FIFO) order, which keeps runs deterministic.
+// This is the O(log n) baseline the LadderQueue is benchmarked against
+// (`sim.queue_kind=heap`); both produce identical pop order.
 //
 // Hot-path design:
 //   * Callbacks are sim::EventFn (48-byte small-buffer optimisation), so
 //     the common schedule/fire cycle never allocates.
 //   * Heap entries are 24-byte PODs (time, sequence, slot); the callback
-//     lives in a side slot table, so sift swaps move three words instead
+//     lives in a side SlotTable, so sift swaps move three words instead
 //     of a type-erased callable.
 //   * Event ids are generation-stamped slot references: cancel() is a
-//     bounds check plus a generation compare — O(1), no scan — and a
-//     slot's generation bumps on every release, so a stale id can never
-//     alias a later event.  Cancelled entries stay in the heap as
-//     tombstones and are skipped on pop (lazy deletion).
+//     bounds check plus a generation compare — O(1), no scan.
+//     Cancelled entries stay in the heap as tombstones and are skipped
+//     on pop (lazy deletion).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/event_fn.hpp"
+#include "sim/pending_set.hpp"
+#include "sim/slot_table.hpp"
 
 namespace caem::sim {
 
-/// Opaque handle to a scheduled event; value 0 is reserved as "invalid".
-/// Encodes (generation << 32) | slot; generations start at 1 so no valid
-/// id is ever 0.
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
-
-/// Callback executed when an event fires.  Receives the firing time.
-using EventCallback = EventFn;
-
-class EventQueue {
+class EventQueue final : public PendingSet {
  public:
-  /// Schedule `callback` at absolute time `time_s`.  Returns a handle
-  /// usable with cancel().  Throws std::invalid_argument for NaN times
-  /// or an empty callback.
-  EventId schedule(double time_s, EventCallback callback);
+  using Fired = sim::Fired;
 
-  /// Cancel a pending event in O(1).  Returns true if the event was
-  /// pending; false if it already fired, was already cancelled, or is
-  /// invalid/stale.
-  bool cancel(EventId id) noexcept;
+  EventId schedule(double time_s, EventCallback callback) override;
+  bool cancel(EventId id) noexcept override;
 
-  /// True when no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
-
-  /// Number of live pending events.
-  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+  [[nodiscard]] bool empty() const noexcept override { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept override { return live_count_; }
 
   /// Time of the earliest live event; throws std::out_of_range when
   /// empty.  Prunes tombstones off the heap top (hence non-const).
   [[nodiscard]] double next_time();
 
-  /// Remove and return the earliest live event.
-  /// Throws std::out_of_range when empty.
-  struct Fired {
-    EventId id;
-    double time_s;
-    EventCallback callback;
-  };
-  Fired pop();
+  /// Const variant for idle checks.  Logically const: tombstone pruning
+  /// changes no observable state (live events and their order are
+  /// untouched), so the cast is sound.
+  [[nodiscard]] double peek_time() const override {
+    return const_cast<EventQueue*>(this)->next_time();
+  }
 
-  /// Drop every pending event.  Outstanding ids become stale (their
-  /// cancel() returns false) and are never reused.
-  void clear() noexcept;
+  Fired pop() override;
+  void clear() noexcept override;
+
+  [[nodiscard]] KernelCounters counters() const noexcept override {
+    return {total_scheduled(), fired_count_, cancelled_count_, pruned_count_};
+  }
+  [[nodiscard]] const char* kind_name() const noexcept override { return "heap"; }
 
   /// Total events ever scheduled (diagnostics / micro-benchmarks).
   [[nodiscard]] std::uint64_t total_scheduled() const noexcept { return next_sequence_ - 1; }
 
  private:
   // One heap entry per scheduled-and-not-yet-popped event.  `slot`
-  // indexes slots_; the entry is a tombstone when the slot is no longer
-  // live.
+  // indexes the slot table; the entry is a tombstone when the slot is
+  // no longer live.
   struct Entry {
     double time_s;
     std::uint64_t sequence;  // FIFO tie-break for equal times
     std::uint32_t slot;
   };
-
-  // Callback + liveness for one in-flight event.  A slot is released
-  // (generation bumped, index recycled) only when its heap entry is
-  // removed, so entry->slot references are always unambiguous.
-  struct Slot {
-    EventFn fn;
-    std::uint32_t generation = 1;
-    bool live = false;
-  };
-
-  [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t generation) noexcept {
-    return (static_cast<EventId>(generation) << 32) | slot;
-  }
 
   // Heap predicate: earliest time first; FIFO for ties.
   [[nodiscard]] static bool later(const Entry& a, const Entry& b) noexcept {
@@ -99,18 +74,18 @@ class EventQueue {
     return a.sequence > b.sequence;
   }
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t slot) noexcept;
   void sift_up(std::size_t index) noexcept;
   void sift_down(std::size_t index) noexcept;
   /// Remove tombstoned entries from the heap top.
   void drop_dead_top() noexcept;
 
   std::vector<Entry> heap_;
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
+  SlotTable slots_;
   std::uint64_t next_sequence_ = 1;
   std::size_t live_count_ = 0;
+  std::uint64_t fired_count_ = 0;
+  std::uint64_t cancelled_count_ = 0;
+  std::uint64_t pruned_count_ = 0;
 };
 
 }  // namespace caem::sim

@@ -1,0 +1,27 @@
+#include "sim/kernel_stats.hpp"
+
+#include <atomic>
+
+namespace caem::sim {
+namespace {
+
+std::atomic<std::uint64_t> g_scheduled{0};
+std::atomic<std::uint64_t> g_fired{0};
+std::atomic<std::uint64_t> g_cancelled{0};
+std::atomic<std::uint64_t> g_pruned{0};
+
+}  // namespace
+
+void add_kernel_totals(const KernelCounters& counters) noexcept {
+  g_scheduled.fetch_add(counters.scheduled, std::memory_order_relaxed);
+  g_fired.fetch_add(counters.fired, std::memory_order_relaxed);
+  g_cancelled.fetch_add(counters.cancelled, std::memory_order_relaxed);
+  g_pruned.fetch_add(counters.tombstones_pruned, std::memory_order_relaxed);
+}
+
+KernelCounters kernel_totals() noexcept {
+  return {g_scheduled.load(std::memory_order_relaxed), g_fired.load(std::memory_order_relaxed),
+          g_cancelled.load(std::memory_order_relaxed), g_pruned.load(std::memory_order_relaxed)};
+}
+
+}  // namespace caem::sim

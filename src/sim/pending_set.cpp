@@ -1,0 +1,27 @@
+#include "sim/pending_set.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/ladder_queue.hpp"
+
+namespace caem::sim {
+
+const char* to_string(QueueKind kind) noexcept {
+  return kind == QueueKind::kHeap ? "heap" : "ladder";
+}
+
+QueueKind queue_kind_from_string(std::string_view text) {
+  if (text == "ladder") return QueueKind::kLadder;
+  if (text == "heap") return QueueKind::kHeap;
+  throw std::invalid_argument("unknown sim.queue_kind '" + std::string(text) +
+                              "' (expected 'ladder' or 'heap')");
+}
+
+std::unique_ptr<PendingSet> make_pending_set(QueueKind kind) {
+  if (kind == QueueKind::kHeap) return std::make_unique<EventQueue>();
+  return std::make_unique<LadderQueue>();
+}
+
+}  // namespace caem::sim
